@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared helpers for the experiment harness.
+ *
+ * Every bench binary regenerates one table or figure of the paper. Shot
+ * counts and optimization budgets default to seconds-to-minutes runtimes
+ * and scale with environment variables:
+ *
+ *   PROPHUNT_SHOTS  Monte-Carlo shots per (circuit, p) point (default 20000)
+ *   PROPHUNT_ITERS  PropHunt iterations (default 6)
+ *   PROPHUNT_SAMPLES Subgraph samples per iteration (default 200)
+ *   PROPHUNT_SAT_TIMEOUT Seconds per MaxSAT solve in Table 2 (default 60)
+ *   PROPHUNT_FULL   If set, include the largest codes in sweeps.
+ */
+#ifndef PROPHUNT_BENCH_COMMON_H
+#define PROPHUNT_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "circuit/coloration.h"
+#include "circuit/surface_schedules.h"
+#include "code/codes.h"
+#include "code/surface.h"
+#include "decoder/logical_error.h"
+#include "prophunt/optimizer.h"
+#include "sim/dem_builder.h"
+
+namespace phbench {
+
+inline std::size_t
+envSize(const char *name, std::size_t def)
+{
+    const char *v = std::getenv(name);
+    return v ? (std::size_t)std::strtoull(v, nullptr, 10) : def;
+}
+
+inline double
+envDouble(const char *name, double def)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtod(v, nullptr) : def;
+}
+
+inline bool
+envFlag(const char *name)
+{
+    return std::getenv(name) != nullptr;
+}
+
+inline std::size_t
+shots()
+{
+    return envSize("PROPHUNT_SHOTS", 20000);
+}
+
+/** Combined memory-Z + memory-X LER of a schedule. */
+inline double
+combinedLer(const prophunt::circuit::SmSchedule &sched, std::size_t rounds,
+            double p, prophunt::decoder::DecoderKind kind,
+            std::size_t num_shots, uint64_t seed, double p_idle = 0.0)
+{
+    prophunt::sim::NoiseModel noise =
+        prophunt::sim::NoiseModel::withIdle(p, p_idle);
+    return prophunt::decoder::measureMemoryLer(sched, rounds, noise, kind,
+                                               num_shots, seed)
+        .combined();
+}
+
+/** Decoder choice matching the paper: matching for surface, BP for LDPC. */
+inline prophunt::decoder::DecoderKind
+decoderFor(const prophunt::code::CssCode &code)
+{
+    return code.name().find("surface") != std::string::npos
+               ? prophunt::decoder::DecoderKind::UnionFind
+               : prophunt::decoder::DecoderKind::BpOsd;
+}
+
+/** LDPC decoding is slower; scale shot budgets down for BP codes. */
+inline std::size_t
+shotsFor(const prophunt::code::CssCode &code, std::size_t base)
+{
+    return decoderFor(code) == prophunt::decoder::DecoderKind::UnionFind
+               ? base
+               : std::max<std::size_t>(500, base / 2);
+}
+
+/** Rounds used for a code's memory experiment (the code distance). */
+inline std::size_t
+roundsFor(const prophunt::code::CssCode &code, std::size_t distance)
+{
+    (void)code;
+    return distance;
+}
+
+/** Default PropHunt options scaled by the environment. */
+inline prophunt::core::PropHuntOptions
+defaultOptions(uint64_t seed)
+{
+    prophunt::core::PropHuntOptions opts;
+    opts.iterations = envSize("PROPHUNT_ITERS", 6);
+    opts.samplesPerIteration = envSize("PROPHUNT_SAMPLES", 200);
+    opts.seed = seed;
+    return opts;
+}
+
+} // namespace phbench
+
+#endif // PROPHUNT_BENCH_COMMON_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Code explorer: construct and inspect CSS codes with the library's
+ * group-algebra machinery.
+ *
+ * Demonstrates the construction substrate on its own: builds every
+ * Table 1 benchmark code, prints its parameters, stabilizer-weight
+ * profile and a randomized distance estimate, then uses the seeded
+ * search API to discover a fresh two-block instance over a user-chosen
+ * group — the workflow for extending the benchmark suite to new codes.
+ */
+#include <cstdio>
+#include <map>
+
+#include "code/codes.h"
+#include "code/distance.h"
+#include "code/two_block.h"
+
+using namespace prophunt::code;
+
+int
+main()
+{
+    std::printf("Benchmark suite (paper Table 1):\n");
+    std::printf("%-22s %4s %3s %3s %8s %8s  weights\n", "code", "n", "k",
+                "d", "X-checks", "Z-checks");
+    for (const CssCode &c : allBenchmarkCodes()) {
+        std::size_t d = estimateDistance(c, 50, 7);
+        std::map<std::size_t, std::size_t> weights;
+        for (std::size_t i = 0; i < c.numChecks(); ++i) {
+            ++weights[c.checkSupport(i).size()];
+        }
+        std::printf("%-22s %4zu %3zu %3zu %8zu %8zu  ", c.name().c_str(),
+                    c.n(), c.k(), d, c.numXChecks(), c.numZChecks());
+        for (const auto &[w, count] : weights) {
+            std::printf("w%zu:%zu ", w, count);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nSearching a fresh two-block instance over the dihedral "
+                "group of order 18...\n");
+    Group g = Group::dihedral(9);
+    SearchResult r = searchTwoBlock(g, /*weight=*/3, /*target_k=*/4,
+                                    /*target_d=*/4, /*attempts=*/400,
+                                    /*seed=*/2024);
+    std::printf("best found: [[%zu,%zu,%zu]] with a = {", 2 * g.order(),
+                r.k, r.d);
+    for (std::size_t t : r.termsA[0]) {
+        std::printf("%zu ", t);
+    }
+    std::printf("}, b = {");
+    for (std::size_t t : r.termsB[0]) {
+        std::printf("%zu ", t);
+    }
+    std::printf("}\n");
+
+    AlgebraElement a = AlgebraElement::fromTerms(g, r.termsA[0]);
+    AlgebraElement b = AlgebraElement::fromTerms(g, r.termsB[0]);
+    CssCode fresh = twoBlock(g, a, b, "explorer 2BGA");
+    std::printf("verified: n=%zu k=%zu, CSS commutation holds by "
+                "construction.\n",
+                fresh.n(), fresh.k());
+    return 0;
+}

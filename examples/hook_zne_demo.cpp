@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hook-ZNE demo: error mitigation from suboptimal SM circuits.
+ *
+ * Walks through the paper's Section 7 pipeline end to end:
+ *   1. Run PropHunt on a d=3 surface code with a gentle budget, keeping
+ *      every intermediate schedule.
+ *   2. Measure each snapshot's logical error rate — the fine-grained noise
+ *      ladder Hook-ZNE exploits.
+ *   3. Run a logical randomized-benchmarking ZNE experiment comparing the
+ *      coarse DS-ZNE distance ladder against the fine Hook-ZNE ladder
+ *      under a shared shot budget, reporting the bias of each.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "circuit/surface_schedules.h"
+#include "code/surface.h"
+#include "decoder/logical_error.h"
+#include "prophunt/optimizer.h"
+#include "zne/zne.h"
+
+using namespace prophunt;
+
+int
+main()
+{
+    // Step 1: gentle PropHunt run to harvest intermediate circuits.
+    code::SurfaceCode surface(3);
+    core::PropHuntOptions opts;
+    opts.iterations = 8;
+    opts.samplesPerIteration = 40;
+    opts.maxAmbiguousPerIteration = 2;
+    opts.seed = 77;
+    core::PropHunt tool(opts);
+    core::OptimizeResult res =
+        tool.optimize(circuit::poorSurfaceSchedule(surface), 3);
+
+    // Step 2: the intermediate noise ladder.
+    std::printf("Intermediate SM circuits as noise-amplification levels "
+                "(d=3, p=2e-3):\n");
+    std::printf("%10s %10s %12s\n", "snapshot", "depth", "LER");
+    std::vector<double> lers;
+    for (std::size_t i = 0; i < res.snapshots.size(); ++i) {
+        double ler = decoder::measureMemoryLer(
+                         res.snapshots[i], 3,
+                         sim::NoiseModel::uniform(2e-3),
+                         decoder::DecoderKind::UnionFind, 30000, 9)
+                         .combined();
+        lers.push_back(ler);
+        std::printf("%10zu %10zu %12.5f\n", i, res.snapshots[i].depth(),
+                    ler);
+    }
+    std::printf("Noise scale factors relative to the optimized end:");
+    for (double l : lers) {
+        std::printf(" %.2f", lers.back() > 0 ? l / lers.back() : 0.0);
+    }
+    std::printf("\n\n");
+
+    // Step 3: DS-ZNE vs Hook-ZNE bias under the paper's configuration.
+    zne::ZneConfig cfg;
+    cfg.lambdaSuppression = 2.0;
+    cfg.depth = 50;
+    cfg.totalShots = 20000;
+    std::printf("ZNE bias comparison (Lambda=2, RB depth 50, 20000-shot "
+                "budget, 200 trials):\n");
+    std::printf("%16s %12s %12s\n", "distance range", "DS-ZNE",
+                "Hook-ZNE");
+    for (double dmax : {13.0, 11.0, 9.0}) {
+        double ds =
+            zne::zneBias(zne::dsZneDistances(dmax), cfg, 200, 31);
+        double hook =
+            zne::zneBias(zne::hookZneDistances(dmax), cfg, 200, 31);
+        std::printf("%10.0f..%-4.0f %12.5f %12.5f\n", dmax - 6.0, dmax, ds,
+                    hook);
+    }
+    std::printf("\nHook-ZNE's finely spaced noise levels avoid the very "
+                "low distances where estimator\nvariance explodes, giving "
+                "more stable extrapolations at the same shot budget.\n");
+    return 0;
+}

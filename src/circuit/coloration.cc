@@ -1,0 +1,106 @@
+#include "circuit/coloration.h"
+
+#include <algorithm>
+#include <random>
+
+namespace prophunt::circuit {
+
+namespace {
+
+/** Tanner-graph edge: a CNOT between a check and a data qubit. */
+struct Edge
+{
+    std::size_t check;
+    std::size_t qubit;
+};
+
+/**
+ * Greedy proper edge coloring: each edge gets the smallest color unused by
+ * edges sharing its check or its qubit. Returns per-edge colors and the
+ * number of colors used.
+ */
+std::pair<std::vector<std::size_t>, std::size_t>
+greedyEdgeColoring(const std::vector<Edge> &edges, std::size_t num_checks,
+                   std::size_t num_qubits)
+{
+    std::vector<std::vector<bool>> check_used(num_checks);
+    std::vector<std::vector<bool>> qubit_used(num_qubits);
+    std::vector<std::size_t> color(edges.size());
+    std::size_t num_colors = 0;
+    auto used = [](const std::vector<bool> &v, std::size_t c) {
+        return c < v.size() && v[c];
+    };
+    auto mark = [](std::vector<bool> &v, std::size_t c) {
+        if (v.size() <= c) {
+            v.resize(c + 1, false);
+        }
+        v[c] = true;
+    };
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        std::size_t c = 0;
+        while (used(check_used[edges[e].check], c) ||
+               used(qubit_used[edges[e].qubit], c)) {
+            ++c;
+        }
+        color[e] = c;
+        mark(check_used[edges[e].check], c);
+        mark(qubit_used[edges[e].qubit], c);
+        num_colors = std::max(num_colors, c + 1);
+    }
+    return {color, num_colors};
+}
+
+SmSchedule
+buildColoration(std::shared_ptr<const code::CssCode> code, uint64_t seed,
+                bool randomize)
+{
+    std::size_t mx = code->numXChecks();
+    std::size_t m = code->numChecks();
+
+    // Collect edges per phase (X checks first, then Z checks).
+    std::vector<Edge> x_edges, z_edges;
+    for (std::size_t c = 0; c < m; ++c) {
+        for (std::size_t q : code->checkSupport(c)) {
+            (c < mx ? x_edges : z_edges).push_back({c, q});
+        }
+    }
+    if (randomize) {
+        std::mt19937_64 rng(seed);
+        std::shuffle(x_edges.begin(), x_edges.end(), rng);
+        std::shuffle(z_edges.begin(), z_edges.end(), rng);
+    }
+
+    auto [x_color, x_colors] =
+        greedyEdgeColoring(x_edges, m, code->n());
+    auto [z_color, z_colors] =
+        greedyEdgeColoring(z_edges, m, code->n());
+    (void)z_colors;
+
+    // Timesteps: X phase occupies [0, x_colors); Z phase follows.
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> ts(m);
+    for (std::size_t e = 0; e < x_edges.size(); ++e) {
+        ts[x_edges[e].check].push_back({x_edges[e].qubit, x_color[e]});
+    }
+    for (std::size_t e = 0; e < z_edges.size(); ++e) {
+        ts[z_edges[e].check].push_back(
+            {z_edges[e].qubit, x_colors + z_color[e]});
+    }
+    return SmSchedule::fromTimesteps(std::move(code), ts);
+}
+
+} // namespace
+
+SmSchedule
+colorationSchedule(std::shared_ptr<const code::CssCode> code)
+{
+    return buildColoration(std::move(code), 0, false);
+}
+
+SmSchedule
+randomColorationSchedule(std::shared_ptr<const code::CssCode> code,
+                         uint64_t seed)
+{
+    return buildColoration(std::move(code), seed, true);
+}
+
+} // namespace prophunt::circuit

@@ -1,0 +1,59 @@
+#include "circuit/surface_schedules.h"
+
+#include <array>
+
+namespace prophunt::circuit {
+
+namespace {
+
+/**
+ * Build a 4-layer schedule from corner patterns.
+ *
+ * @param x_pattern Timestep of each corner (NW, NE, SW, SE) for X checks.
+ * @param z_pattern Likewise for Z checks.
+ */
+SmSchedule
+patternSchedule(const code::SurfaceCode &surface,
+                const std::array<std::size_t, 4> &x_pattern,
+                const std::array<std::size_t, 4> &z_pattern)
+{
+    const code::CssCode &c = surface.code();
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> ts(
+        c.numChecks());
+    for (std::size_t chk = 0; chk < c.numChecks(); ++chk) {
+        const code::SurfaceFace &f = surface.face(chk);
+        const auto &pattern = f.isX ? x_pattern : z_pattern;
+        for (std::size_t corner = 0; corner < 4; ++corner) {
+            if (f.corner[corner]) {
+                ts[chk].push_back({*f.corner[corner], pattern[corner]});
+            }
+        }
+    }
+    auto code_ptr =
+        std::make_shared<const code::CssCode>(surface.code());
+    return SmSchedule::fromTimesteps(code_ptr, ts);
+}
+
+} // namespace
+
+SmSchedule
+nzSchedule(const code::SurfaceCode &surface)
+{
+    // In this layout X-error chains run vertically (X_L is a column), so
+    // the worst-case X hooks must land horizontally: X checks follow the
+    // 'Z' pattern (NW, NE, SW, SE), spreading a mid-sequence hook to the
+    // SW/SE row. Z-error chains run horizontally (Z_L is a row), so Z
+    // checks follow the 'N' pattern (NW, SW, NE, SE), spreading Z hooks
+    // vertically.
+    return patternSchedule(surface, {0, 1, 2, 3}, {0, 2, 1, 3});
+}
+
+SmSchedule
+poorSurfaceSchedule(const code::SurfaceCode &surface)
+{
+    // Swapped patterns: hooks align with the logical operators, reducing
+    // the effective distance toward ceil(d/2).
+    return patternSchedule(surface, {0, 2, 1, 3}, {0, 1, 2, 3});
+}
+
+} // namespace prophunt::circuit

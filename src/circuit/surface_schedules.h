@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Hand-designed surface-code schedules.
+ *
+ * The well-known 'N-Z' schedule [Tomita & Svore] orders each check's CNOTs
+ * so worst-case hook errors land perpendicular to the corresponding logical
+ * operator; the "poor" schedule swaps the two patterns so hooks align with
+ * the logicals and reduce the effective distance. Both are 4-CNOT-layer,
+ * commutation-valid schedules, used as the hand-designed reference (Fig. 12)
+ * and the motivating comparison (Fig. 6).
+ */
+#ifndef PROPHUNT_CIRCUIT_SURFACE_SCHEDULES_H
+#define PROPHUNT_CIRCUIT_SURFACE_SCHEDULES_H
+
+#include <memory>
+
+#include "circuit/schedule.h"
+#include "code/surface.h"
+
+namespace prophunt::circuit {
+
+/** The good, hand-designed 'N-Z' schedule (hooks perpendicular). */
+SmSchedule nzSchedule(const code::SurfaceCode &surface);
+
+/** The poor schedule with swapped patterns (hooks parallel to logicals). */
+SmSchedule poorSurfaceSchedule(const code::SurfaceCode &surface);
+
+} // namespace prophunt::circuit
+
+#endif // PROPHUNT_CIRCUIT_SURFACE_SCHEDULES_H

@@ -1,0 +1,113 @@
+#include "code/css_code.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace prophunt::code {
+
+CssCode::CssCode(gf2::Matrix hx, gf2::Matrix hz, std::string name)
+    : hx_(std::move(hx)), hz_(std::move(hz)), name_(std::move(name))
+{
+    if (hx_.cols() != hz_.cols()) {
+        throw std::invalid_argument("CssCode: H_X / H_Z column mismatch");
+    }
+    // CSS condition: every X check commutes with every Z check, i.e. the
+    // supports overlap on an even number of qubits.
+    for (std::size_t i = 0; i < hx_.rows(); ++i) {
+        for (std::size_t j = 0; j < hz_.rows(); ++j) {
+            if (hx_.row(i).dot(hz_.row(j))) {
+                throw std::invalid_argument(
+                    "CssCode: H_X * H_Z^T != 0 (stabilizers anticommute)");
+            }
+        }
+    }
+    computeLogicals();
+}
+
+void
+CssCode::computeLogicals()
+{
+    // X logicals: vectors in ker(H_Z) independent of rowspace(H_X).
+    // Z logicals: vectors in ker(H_X) independent of rowspace(H_Z).
+    auto pick_logicals = [](const gf2::Matrix &kernel_of,
+                            const gf2::Matrix &modulo) {
+        std::vector<gf2::BitVec> out;
+        gf2::Matrix span = modulo;
+        std::size_t span_rank = span.rank();
+        for (const auto &v : kernel_of.kernelBasis()) {
+            gf2::Matrix trial = span;
+            trial.appendRow(v);
+            std::size_t r = trial.rank();
+            if (r > span_rank) {
+                out.push_back(v);
+                span = std::move(trial);
+                span_rank = r;
+            }
+        }
+        return out;
+    };
+
+    std::vector<gf2::BitVec> xlogs = pick_logicals(hz_, hx_);
+    std::vector<gf2::BitVec> zlogs = pick_logicals(hx_, hz_);
+    if (xlogs.size() != zlogs.size()) {
+        throw std::logic_error("CssCode: logical count mismatch");
+    }
+
+    // Symplectic pairing: arrange so xlogs[i].dot(zlogs[j]) == (i == j).
+    for (std::size_t i = 0; i < xlogs.size(); ++i) {
+        // Find a Z logical anticommuting with xlogs[i].
+        std::size_t sel = zlogs.size();
+        for (std::size_t j = i; j < zlogs.size(); ++j) {
+            if (xlogs[i].dot(zlogs[j])) {
+                sel = j;
+                break;
+            }
+        }
+        if (sel == zlogs.size()) {
+            throw std::logic_error("CssCode: symplectic pairing failed");
+        }
+        std::swap(zlogs[i], zlogs[sel]);
+        // Clean remaining logicals so they commute with the chosen pair.
+        for (std::size_t j = i + 1; j < xlogs.size(); ++j) {
+            if (xlogs[j].dot(zlogs[i])) {
+                xlogs[j] ^= xlogs[i];
+            }
+            if (zlogs[j].dot(xlogs[i])) {
+                zlogs[j] ^= zlogs[i];
+            }
+        }
+    }
+
+    lx_ = gf2::Matrix(0, n());
+    lz_ = gf2::Matrix(0, n());
+    for (const auto &v : xlogs) {
+        lx_.appendRow(v);
+    }
+    for (const auto &v : zlogs) {
+        lz_.appendRow(v);
+    }
+}
+
+std::vector<std::size_t>
+CssCode::checkSupport(std::size_t check) const
+{
+    if (check < hx_.rows()) {
+        return hx_.row(check).support();
+    }
+    return hz_.row(check - hx_.rows()).support();
+}
+
+std::size_t
+CssCode::maxCheckWeight() const
+{
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < hx_.rows(); ++i) {
+        w = std::max(w, hx_.row(i).popcount());
+    }
+    for (std::size_t i = 0; i < hz_.rows(); ++i) {
+        w = std::max(w, hz_.row(i).popcount());
+    }
+    return w;
+}
+
+} // namespace prophunt::code

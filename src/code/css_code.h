@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CSS stabilizer codes: check matrices, logical operators, validation.
+ *
+ * An [[n, k, d]] CSS code is specified by two parity-check matrices H_X and
+ * H_Z over GF(2) with H_X * H_Z^T = 0. Logical operator matrices L_X and L_Z
+ * are computed from the kernels of the opposing check matrices and paired
+ * symplectically so that L_X row i anticommutes with L_Z row i only.
+ */
+#ifndef PROPHUNT_CODE_CSS_CODE_H
+#define PROPHUNT_CODE_CSS_CODE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gf2/matrix.h"
+
+namespace prophunt::code {
+
+/**
+ * A CSS quantum error-correcting code.
+ *
+ * The class is immutable after construction. Check matrices are the rows the
+ * syndrome-measurement circuit will implement; logical matrices define the
+ * observables tracked by the circuit-level model.
+ */
+class CssCode
+{
+  public:
+    /**
+     * Build a CSS code from its check matrices.
+     *
+     * Computes logical operators, verifies CSS commutation, and throws
+     * std::invalid_argument if H_X * H_Z^T != 0.
+     *
+     * @param hx X-type checks (detect Z errors).
+     * @param hz Z-type checks (detect X errors).
+     * @param name Human-readable name, e.g. "[[9,1,3]] surface".
+     */
+    CssCode(gf2::Matrix hx, gf2::Matrix hz, std::string name);
+
+    /** Number of physical data qubits. */
+    std::size_t n() const { return hx_.cols(); }
+
+    /** Number of logical qubits, n - rank(H_X) - rank(H_Z). */
+    std::size_t k() const { return lx_.rows(); }
+
+    std::size_t numXChecks() const { return hx_.rows(); }
+    std::size_t numZChecks() const { return hz_.rows(); }
+    std::size_t numChecks() const { return hx_.rows() + hz_.rows(); }
+
+    const gf2::Matrix &hx() const { return hx_; }
+    const gf2::Matrix &hz() const { return hz_; }
+    const gf2::Matrix &lx() const { return lx_; }
+    const gf2::Matrix &lz() const { return lz_; }
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * Data qubits of a check under the global check indexing:
+     * checks [0, numXChecks) are X-type, [numXChecks, numChecks) are Z-type.
+     */
+    std::vector<std::size_t> checkSupport(std::size_t check) const;
+
+    /** True iff the global check index refers to an X-type stabilizer. */
+    bool isXCheck(std::size_t check) const { return check < hx_.rows(); }
+
+    /** Maximum stabilizer weight across both check types. */
+    std::size_t maxCheckWeight() const;
+
+  private:
+    void computeLogicals();
+
+    gf2::Matrix hx_;
+    gf2::Matrix hz_;
+    gf2::Matrix lx_;
+    gf2::Matrix lz_;
+    std::string name_;
+};
+
+} // namespace prophunt::code
+
+#endif // PROPHUNT_CODE_CSS_CODE_H

@@ -1,0 +1,135 @@
+#include "code/distance.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace prophunt::code {
+
+namespace {
+
+/**
+ * Core estimator: min weight of a vector in span(stab rows + logical rows)
+ * carrying a nonzero logical component (i.e., not in rowspace(stab)).
+ *
+ * @param stab Stabilizer check matrix whose row space must be avoided.
+ * @param logicals Logical operator rows completing the kernel span.
+ */
+std::size_t
+estimate(const gf2::Matrix &stab, const gf2::Matrix &logicals,
+         std::size_t trials, uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::size_t n = stab.cols();
+    std::size_t best = n + 1;
+
+    // Anticommuting partners detect logical components cheaply: v has a
+    // logical component iff it anticommutes with some dual logical. The
+    // caller passes logicals from the CssCode, whose dual partners are the
+    // opposing-type logicals; instead we use membership via rank which is
+    // robust: precompute the echelon form of the stabilizer matrix once.
+    gf2::RowEchelon stab_re = stab.rowEchelon();
+    auto in_stab_span = [&](const gf2::BitVec &v) {
+        gf2::BitVec r = v;
+        for (std::size_t i = 0; i < stab_re.rank; ++i) {
+            if (r.get(stab_re.pivotCol[i])) {
+                r ^= stab_re.rows[i];
+            }
+        }
+        return r.isZero();
+    };
+
+    // Greedy polish: repeatedly add any stabilizer row that lowers weight.
+    auto polish = [&](gf2::BitVec v) {
+        bool improved = true;
+        while (improved) {
+            improved = false;
+            for (std::size_t i = 0; i < stab.rows(); ++i) {
+                gf2::BitVec cand = v ^ stab.row(i);
+                if (cand.popcount() < v.popcount()) {
+                    v = std::move(cand);
+                    improved = true;
+                }
+            }
+        }
+        return v;
+    };
+
+    // Direct logicals first.
+    for (std::size_t i = 0; i < logicals.rows(); ++i) {
+        gf2::BitVec v = polish(logicals.row(i));
+        best = std::min(best, v.popcount());
+    }
+
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::size_t t = 0; t < trials; ++t) {
+        std::shuffle(perm.begin(), perm.end(), rng);
+        // Row reduce the spanning set under the permuted column order.
+        std::vector<gf2::BitVec> rows;
+        rows.reserve(stab.rows() + logicals.rows());
+        for (std::size_t i = 0; i < stab.rows(); ++i) {
+            rows.push_back(stab.row(i));
+        }
+        for (std::size_t i = 0; i < logicals.rows(); ++i) {
+            rows.push_back(logicals.row(i));
+        }
+        std::size_t pivot_row = 0;
+        for (std::size_t pc = 0; pc < n && pivot_row < rows.size(); ++pc) {
+            std::size_t c = perm[pc];
+            std::size_t sel = rows.size();
+            for (std::size_t r = pivot_row; r < rows.size(); ++r) {
+                if (rows[r].get(c)) {
+                    sel = r;
+                    break;
+                }
+            }
+            if (sel == rows.size()) {
+                continue;
+            }
+            std::swap(rows[pivot_row], rows[sel]);
+            for (std::size_t r = 0; r < rows.size(); ++r) {
+                if (r != pivot_row && rows[r].get(c)) {
+                    rows[r] ^= rows[pivot_row];
+                }
+            }
+            ++pivot_row;
+        }
+        for (std::size_t r = 0; r < pivot_row; ++r) {
+            std::size_t w = rows[r].popcount();
+            if (w >= best || in_stab_span(rows[r])) {
+                continue;
+            }
+            gf2::BitVec v = polish(rows[r]);
+            if (!in_stab_span(v)) {
+                best = std::min(best, v.popcount());
+            } else {
+                best = std::min(best, w);
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::size_t
+estimateXDistance(const CssCode &code, std::size_t trials, uint64_t seed)
+{
+    return estimate(code.hx(), code.lx(), trials, seed);
+}
+
+std::size_t
+estimateZDistance(const CssCode &code, std::size_t trials, uint64_t seed)
+{
+    return estimate(code.hz(), code.lz(), trials, seed);
+}
+
+std::size_t
+estimateDistance(const CssCode &code, std::size_t trials, uint64_t seed)
+{
+    return std::min(estimateXDistance(code, trials, seed),
+                    estimateZDistance(code, trials, seed + 1));
+}
+
+} // namespace prophunt::code

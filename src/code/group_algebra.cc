@@ -1,0 +1,174 @@
+#include "code/group_algebra.h"
+
+#include <stdexcept>
+
+namespace prophunt::code {
+
+Group::Group(std::size_t order, std::vector<std::size_t> table)
+    : order_(order), table_(std::move(table)), inv_(order)
+{
+    for (std::size_t a = 0; a < order_; ++a) {
+        bool found = false;
+        for (std::size_t b = 0; b < order_; ++b) {
+            if (mul(a, b) == 0) {
+                inv_[a] = b;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            throw std::logic_error("Group: element without inverse");
+        }
+    }
+}
+
+Group
+Group::cyclic(std::size_t n)
+{
+    std::vector<std::size_t> table(n * n);
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = 0; b < n; ++b) {
+            table[a * n + b] = (a + b) % n;
+        }
+    }
+    return Group(n, std::move(table));
+}
+
+Group
+Group::dihedral(std::size_t n)
+{
+    // Elements 0..n-1: rotations r^i. Elements n..2n-1: reflections s r^i,
+    // with relations s^2 = 1 and s r = r^{-1} s, i.e.
+    //   r^a * r^b     = r^{a+b}
+    //   r^a * s r^b   = s r^{b-a}
+    //   s r^a * r^b   = s r^{a+b}
+    //   s r^a * s r^b = r^{b-a}
+    std::size_t order = 2 * n;
+    std::vector<std::size_t> table(order * order);
+    auto idx = [n](bool refl, std::size_t rot) {
+        return (refl ? n : 0) + rot % n;
+    };
+    for (std::size_t a = 0; a < order; ++a) {
+        bool ra = a >= n;
+        std::size_t ia = ra ? a - n : a;
+        for (std::size_t b = 0; b < order; ++b) {
+            bool rb = b >= n;
+            std::size_t ib = rb ? b - n : b;
+            std::size_t out;
+            if (!ra && !rb) {
+                out = idx(false, ia + ib);
+            } else if (!ra && rb) {
+                out = idx(true, (ib + n - ia % n) % n);
+            } else if (ra && !rb) {
+                out = idx(true, ia + ib);
+            } else {
+                out = idx(false, (ib + n - ia % n) % n);
+            }
+            table[a * order + b] = out;
+        }
+    }
+    return Group(order, std::move(table));
+}
+
+AlgebraElement
+AlgebraElement::fromTerms(const Group &g, const std::vector<std::size_t> &terms)
+{
+    AlgebraElement e(g);
+    for (std::size_t t : terms) {
+        e.bits_.flip(t);
+    }
+    return e;
+}
+
+AlgebraElement
+AlgebraElement::antipode(const Group &g) const
+{
+    AlgebraElement e(g);
+    for (std::size_t t : bits_.support()) {
+        e.bits_.flip(g.inverse(t));
+    }
+    return e;
+}
+
+gf2::Matrix
+AlgebraElement::liftLeft(const Group &g) const
+{
+    std::size_t n = g.order();
+    gf2::Matrix m(n, n);
+    for (std::size_t t : bits_.support()) {
+        for (std::size_t h = 0; h < n; ++h) {
+            m.set(h, g.mul(t, h), true);
+        }
+    }
+    return m;
+}
+
+gf2::Matrix
+AlgebraElement::liftRight(const Group &g) const
+{
+    std::size_t n = g.order();
+    gf2::Matrix m(n, n);
+    for (std::size_t t : bits_.support()) {
+        for (std::size_t h = 0; h < n; ++h) {
+            m.set(h, g.mul(h, t), true);
+        }
+    }
+    return m;
+}
+
+Protograph::Protograph(const Group &g, std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), entries_(rows * cols, AlgebraElement(g))
+{
+}
+
+Protograph
+Protograph::conjugateTranspose(const Group &g) const
+{
+    Protograph t(g, cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+            t.at(c, r) = at(r, c).antipode(g);
+        }
+    }
+    return t;
+}
+
+namespace {
+
+gf2::Matrix
+liftProtograph(const Protograph &p, const Group &g, bool left)
+{
+    std::size_t n = g.order();
+    gf2::Matrix out(p.rows() * n, p.cols() * n);
+    for (std::size_t r = 0; r < p.rows(); ++r) {
+        for (std::size_t c = 0; c < p.cols(); ++c) {
+            const AlgebraElement &e = p.at(r, c);
+            if (e.isZero()) {
+                continue;
+            }
+            gf2::Matrix block = left ? e.liftLeft(g) : e.liftRight(g);
+            for (std::size_t i = 0; i < n; ++i) {
+                for (std::size_t j : block.row(i).support()) {
+                    out.set(r * n + i, c * n + j, true);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+gf2::Matrix
+Protograph::liftLeft(const Group &g) const
+{
+    return liftProtograph(*this, g, true);
+}
+
+gf2::Matrix
+Protograph::liftRight(const Group &g) const
+{
+    return liftProtograph(*this, g, false);
+}
+
+} // namespace prophunt::code

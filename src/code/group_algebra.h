@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Finite groups and their GF(2) group algebras.
+ *
+ * Lifted-product and two-block codes are defined over the group algebra
+ * F2[G]. We represent G by its multiplication table and algebra elements as
+ * bit vectors over the |G| group elements. Lifting sends an algebra element
+ * to a |G| x |G| permutation-sum binary matrix via the left or right regular
+ * representation; using left for one protograph factor and right for the
+ * other makes the lifted blocks commute even for non-abelian G.
+ */
+#ifndef PROPHUNT_CODE_GROUP_ALGEBRA_H
+#define PROPHUNT_CODE_GROUP_ALGEBRA_H
+
+#include <cstddef>
+#include <vector>
+
+#include "gf2/bitvec.h"
+#include "gf2/matrix.h"
+
+namespace prophunt::code {
+
+/**
+ * A finite group given by its multiplication table.
+ *
+ * Element 0 is the identity. mul(a, b) is the product a*b.
+ */
+class Group
+{
+  public:
+    /** Cyclic group C_n. Element i is the rotation x^i. */
+    static Group cyclic(std::size_t n);
+
+    /**
+     * Dihedral group of order 2n (symmetries of the n-gon). Elements
+     * 0..n-1 are rotations r^i; elements n..2n-1 are reflections s*r^i.
+     */
+    static Group dihedral(std::size_t n);
+
+    std::size_t order() const { return order_; }
+
+    std::size_t mul(std::size_t a, std::size_t b) const
+    {
+        return table_[a * order_ + b];
+    }
+
+    std::size_t inverse(std::size_t a) const { return inv_[a]; }
+
+  private:
+    Group(std::size_t order, std::vector<std::size_t> table);
+
+    std::size_t order_;
+    std::vector<std::size_t> table_;
+    std::vector<std::size_t> inv_;
+};
+
+/**
+ * An element of the group algebra F2[G]: a formal GF(2) sum of group
+ * elements, stored as a bit vector of length |G|.
+ */
+class AlgebraElement
+{
+  public:
+    AlgebraElement() = default;
+
+    /** The zero element of F2[G]. */
+    explicit AlgebraElement(const Group &g) : bits_(g.order()) {}
+
+    /** Sum of the listed group elements. */
+    static AlgebraElement fromTerms(const Group &g,
+                                    const std::vector<std::size_t> &terms);
+
+    const gf2::BitVec &bits() const { return bits_; }
+
+    bool isZero() const { return bits_.isZero(); }
+
+    /**
+     * The antipode a* = sum over terms g of g^{-1}. Lifting satisfies
+     * L(a)^T = L(a*) and R(a)^T = R(a*).
+     */
+    AlgebraElement antipode(const Group &g) const;
+
+    /** Left regular representation: matrix M with M[h, g*h] = 1 per term g. */
+    gf2::Matrix liftLeft(const Group &g) const;
+
+    /** Right regular representation: M[h, h*g] = 1 per term g. */
+    gf2::Matrix liftRight(const Group &g) const;
+
+  private:
+    gf2::BitVec bits_;
+};
+
+/** A protograph: a small matrix with entries in F2[G]. */
+class Protograph
+{
+  public:
+    Protograph(const Group &g, std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    AlgebraElement &at(std::size_t r, std::size_t c)
+    {
+        return entries_[r * cols_ + c];
+    }
+    const AlgebraElement &at(std::size_t r, std::size_t c) const
+    {
+        return entries_[r * cols_ + c];
+    }
+
+    /** Entry-wise antipode combined with matrix transpose. */
+    Protograph conjugateTranspose(const Group &g) const;
+
+    /** Lift every entry with the left regular representation. */
+    gf2::Matrix liftLeft(const Group &g) const;
+
+    /** Lift every entry with the right regular representation. */
+    gf2::Matrix liftRight(const Group &g) const;
+
+  private:
+    std::size_t rows_, cols_;
+    std::vector<AlgebraElement> entries_;
+};
+
+} // namespace prophunt::code
+
+#endif // PROPHUNT_CODE_GROUP_ALGEBRA_H

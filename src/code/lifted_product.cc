@@ -1,0 +1,87 @@
+#include "code/lifted_product.h"
+
+namespace prophunt::code {
+
+namespace {
+
+/**
+ * Place a lifted |G| x |G| block at protograph cell (br, bc) of @p dest,
+ * offset by (row0, col0) in lifted coordinates.
+ */
+void
+placeBlock(gf2::Matrix &dest, const gf2::Matrix &block, std::size_t row0,
+           std::size_t col0)
+{
+    for (std::size_t i = 0; i < block.rows(); ++i) {
+        for (std::size_t j : block.row(i).support()) {
+            dest.set(row0 + i, col0 + j, true);
+        }
+    }
+}
+
+} // namespace
+
+CssCode
+liftedProduct(const Group &g, const Protograph &a, const Protograph &b,
+              const std::string &name)
+{
+    std::size_t gl = g.order();
+    std::size_t ma = a.rows(), na = a.cols();
+    std::size_t mb = b.rows(), nb = b.cols();
+    std::size_t n1 = na * nb * gl; // qubit block 1
+    std::size_t n2 = ma * mb * gl; // qubit block 2
+    std::size_t n = n1 + n2;
+
+    Protograph astar = a.conjugateTranspose(g); // na x ma
+    Protograph bstar = b.conjugateTranspose(g); // nb x mb
+
+    // H_X: rows indexed (i in ma, l in nb).
+    gf2::Matrix hx(ma * nb * gl, n);
+    for (std::size_t i = 0; i < ma; ++i) {
+        for (std::size_t l = 0; l < nb; ++l) {
+            std::size_t row0 = (i * nb + l) * gl;
+            // Block 1: L(A[i,k]) at qubit column (k, l).
+            for (std::size_t k = 0; k < na; ++k) {
+                const AlgebraElement &e = a.at(i, k);
+                if (!e.isZero()) {
+                    placeBlock(hx, e.liftLeft(g), row0, (k * nb + l) * gl);
+                }
+            }
+            // Block 2: R(B*[l,j]) at qubit column (i, j).
+            for (std::size_t j = 0; j < mb; ++j) {
+                const AlgebraElement &e = bstar.at(l, j);
+                if (!e.isZero()) {
+                    placeBlock(hx, e.liftRight(g), row0,
+                               n1 + (i * mb + j) * gl);
+                }
+            }
+        }
+    }
+
+    // H_Z: rows indexed (k in na, j in mb).
+    gf2::Matrix hz(na * mb * gl, n);
+    for (std::size_t k = 0; k < na; ++k) {
+        for (std::size_t j = 0; j < mb; ++j) {
+            std::size_t row0 = (k * mb + j) * gl;
+            // Block 1: R(B[j,l]) at qubit column (k, l).
+            for (std::size_t l = 0; l < nb; ++l) {
+                const AlgebraElement &e = b.at(j, l);
+                if (!e.isZero()) {
+                    placeBlock(hz, e.liftRight(g), row0, (k * nb + l) * gl);
+                }
+            }
+            // Block 2: L(A*[k,i]) at qubit column (i, j).
+            for (std::size_t i = 0; i < ma; ++i) {
+                const AlgebraElement &e = astar.at(k, i);
+                if (!e.isZero()) {
+                    placeBlock(hz, e.liftLeft(g), row0,
+                               n1 + (i * mb + j) * gl);
+                }
+            }
+        }
+    }
+
+    return CssCode(hx, hz, name);
+}
+
+} // namespace prophunt::code

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Lifted-product CSS codes over a group algebra.
+ *
+ * Given protographs A (m_a x n_a) and B (m_b x n_b) with entries in F2[G],
+ * the lifted product places qubits on two blocks (n_a*n_b and m_a*m_b
+ * copies of G) with check matrices
+ *
+ *   H_X = [ L(A) (x) I_{n_b}  |  I_{m_a} (x) R(B*) ]
+ *   H_Z = [ I_{n_a} (x) R(B)  |  L(A*) (x) I_{m_b} ]
+ *
+ * where L/R are the left/right regular representations and * is the
+ * algebra conjugate transpose. Mixing L on the A side and R on the B side
+ * makes H_X * H_Z^T vanish even for non-abelian groups, since left and
+ * right translations commute.
+ */
+#ifndef PROPHUNT_CODE_LIFTED_PRODUCT_H
+#define PROPHUNT_CODE_LIFTED_PRODUCT_H
+
+#include <string>
+
+#include "code/css_code.h"
+#include "code/group_algebra.h"
+
+namespace prophunt::code {
+
+/** Build the lifted-product code LP(A, B) over group @p g. */
+CssCode liftedProduct(const Group &g, const Protograph &a,
+                      const Protograph &b, const std::string &name);
+
+} // namespace prophunt::code
+
+#endif // PROPHUNT_CODE_LIFTED_PRODUCT_H

@@ -1,0 +1,107 @@
+#include "code/surface.h"
+
+#include <stdexcept>
+
+namespace prophunt::code {
+
+namespace {
+
+/** Build all faces of the distance-d rotated surface code. */
+std::vector<SurfaceFace>
+buildFaces(std::size_t d)
+{
+    std::vector<SurfaceFace> faces;
+    auto in_grid = [d](long r, long c) {
+        return r >= 0 && c >= 0 && r < (long)d && c < (long)d;
+    };
+    for (std::size_t i = 0; i <= d; ++i) {
+        for (std::size_t j = 0; j <= d; ++j) {
+            // X-type faces on odd parity; they line the top/bottom
+            // boundaries. Z-type on even parity, lining left/right.
+            bool is_x = ((i + j) % 2) == 1;
+            bool interior = i >= 1 && i <= d - 1 && j >= 1 && j <= d - 1;
+            bool top = i == 0, bottom = i == d, left = j == 0, right = j == d;
+            bool keep = false;
+            if (interior) {
+                keep = true;
+            } else if ((top || bottom) && is_x && j >= 1 && j <= d - 1) {
+                keep = true;
+            } else if ((left || right) && !is_x && i >= 1 && i <= d - 1) {
+                keep = true;
+            }
+            if (!keep) {
+                continue;
+            }
+            SurfaceFace f;
+            f.isX = is_x;
+            f.i = i;
+            f.j = j;
+            long ri = (long)i, cj = (long)j;
+            // Corners: NW, NE, SW, SE relative to the face center.
+            std::array<std::pair<long, long>, 4> pos = {
+                std::pair<long, long>{ri - 1, cj - 1}, {ri - 1, cj},
+                {ri, cj - 1}, {ri, cj}};
+            for (std::size_t c = 0; c < 4; ++c) {
+                auto [r, col] = pos[c];
+                if (in_grid(r, col)) {
+                    f.corner[c] = (std::size_t)(r * (long)d + col);
+                }
+            }
+            faces.push_back(f);
+        }
+    }
+    // X faces first, then Z faces, to match CssCode check indexing.
+    std::vector<SurfaceFace> ordered;
+    for (const auto &f : faces) {
+        if (f.isX) {
+            ordered.push_back(f);
+        }
+    }
+    for (const auto &f : faces) {
+        if (!f.isX) {
+            ordered.push_back(f);
+        }
+    }
+    return ordered;
+}
+
+CssCode
+buildCode(std::size_t d, const std::vector<SurfaceFace> &faces)
+{
+    std::size_t n = d * d;
+    gf2::Matrix hx(0, n), hz(0, n);
+    for (const auto &f : faces) {
+        gf2::BitVec row(n);
+        for (const auto &q : f.corner) {
+            if (q) {
+                row.set(*q, true);
+            }
+        }
+        if (f.isX) {
+            hx.appendRow(row);
+        } else {
+            hz.appendRow(row);
+        }
+    }
+    std::string name = "[[" + std::to_string(n) + ",1," + std::to_string(d) +
+                       "]] surface";
+    return CssCode(hx, hz, name);
+}
+
+} // namespace
+
+SurfaceCode::SurfaceCode(std::size_t d)
+    : d_(d), faces_(buildFaces(d)), code_(buildCode(d, faces_))
+{
+    if (d < 3 || d % 2 == 0) {
+        throw std::invalid_argument("SurfaceCode: d must be odd and >= 3");
+    }
+    if (faces_.size() != d * d - 1) {
+        throw std::logic_error("SurfaceCode: face count mismatch");
+    }
+    if (code_.k() != 1) {
+        throw std::logic_error("SurfaceCode: expected k = 1");
+    }
+}
+
+} // namespace prophunt::code

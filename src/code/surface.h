@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Rotated surface codes with retained 2D geometry.
+ *
+ * The rotated distance-d surface code has d*d data qubits on a grid and
+ * d*d - 1 stabilizers on the faces of the grid. Geometry (which corner of a
+ * face each data qubit occupies) is retained because the hand-designed
+ * 'N-Z' schedule and its deliberately poor variants are defined in terms of
+ * compass positions (NW/NE/SW/SE).
+ */
+#ifndef PROPHUNT_CODE_SURFACE_H
+#define PROPHUNT_CODE_SURFACE_H
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "code/css_code.h"
+
+namespace prophunt::code {
+
+/** Compass corner of a face, used to describe CNOT orders geometrically. */
+enum class Corner { NW = 0, NE = 1, SW = 2, SE = 3 };
+
+/** One stabilizer face of the rotated surface code. */
+struct SurfaceFace
+{
+    /** True for an X-type face, false for Z-type. */
+    bool isX = false;
+    /** Face coordinate (i, j) on the dual grid, 0 <= i, j <= d. */
+    std::size_t i = 0, j = 0;
+    /**
+     * Data qubit at each corner, or nullopt for corners clipped off by the
+     * code boundary (weight-2 boundary faces).
+     */
+    std::array<std::optional<std::size_t>, 4> corner;
+};
+
+/**
+ * A rotated surface code of odd distance d.
+ *
+ * Data qubit (r, c) has index r*d + c. Faces are checkerboard-colored:
+ * X-type faces terminate on the top/bottom boundaries and Z-type faces on
+ * the left/right boundaries, matching the layout in the paper's Figure 2.
+ */
+class SurfaceCode
+{
+  public:
+    /** Build the distance-@p d rotated surface code; d must be odd, >= 3. */
+    explicit SurfaceCode(std::size_t d);
+
+    std::size_t distance() const { return d_; }
+
+    /** The underlying CSS code ([[d^2, 1, d]]). */
+    const CssCode &code() const { return code_; }
+
+    /**
+     * Face geometry for the check with the given global check index
+     * (X checks first, then Z checks, matching CssCode indexing).
+     */
+    const SurfaceFace &face(std::size_t check) const { return faces_[check]; }
+
+    std::size_t numFaces() const { return faces_.size(); }
+
+    /** Index of the data qubit at grid position (r, c). */
+    std::size_t dataIndex(std::size_t r, std::size_t c) const { return r * d_ + c; }
+
+  private:
+    std::size_t d_;
+    std::vector<SurfaceFace> faces_;
+    CssCode code_;
+};
+
+} // namespace prophunt::code
+
+#endif // PROPHUNT_CODE_SURFACE_H

@@ -1,0 +1,16 @@
+#include "code/two_block.h"
+
+namespace prophunt::code {
+
+CssCode
+twoBlock(const Group &g, const AlgebraElement &a, const AlgebraElement &b,
+         const std::string &name)
+{
+    gf2::Matrix la = a.liftLeft(g);
+    gf2::Matrix rb = b.liftRight(g);
+    gf2::Matrix hx = la.hstack(rb);
+    gf2::Matrix hz = rb.transpose().hstack(la.transpose());
+    return CssCode(hx, hz, name);
+}
+
+} // namespace prophunt::code

@@ -1,0 +1,320 @@
+#include "decoder/bp_osd.h"
+
+#include <bit>
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace prophunt::decoder {
+
+BpOsdDecoder::BpOsdDecoder(const sim::Dem &dem, BpOsdOptions opts)
+    : opts_(opts), numDetectors_(dem.numDetectors)
+{
+    colDets_.reserve(dem.errors.size());
+    detCols_.resize(numDetectors_);
+    for (std::size_t e = 0; e < dem.errors.size(); ++e) {
+        const auto &mech = dem.errors[e];
+        colDets_.push_back(mech.detectors);
+        uint64_t obs = 0;
+        for (uint32_t o : mech.observables) {
+            obs |= uint64_t{1} << o;
+        }
+        colObs_.push_back(obs);
+        double p = std::clamp(mech.p, 1e-12, 0.5 - 1e-12);
+        prior_.push_back(std::log((1.0 - p) / p));
+        for (uint32_t d : mech.detectors) {
+            detCols_[d].push_back((uint32_t)e);
+        }
+        if (!mech.detectors.empty()) {
+            auto it = single_.find(mech.detectors);
+            if (it == single_.end() || mech.p > it->second.second) {
+                single_[mech.detectors] = {obs, mech.p};
+            }
+        }
+    }
+}
+
+uint64_t
+BpOsdDecoder::decodeRegion(const std::vector<uint32_t> &errs,
+                           const std::vector<uint32_t> &flipped, bool &ok)
+{
+    // Local index maps.
+    std::vector<uint32_t> dets;
+    std::vector<int> det_local(numDetectors_, -1);
+    for (uint32_t e : errs) {
+        for (uint32_t d : colDets_[e]) {
+            if (det_local[d] < 0) {
+                det_local[d] = (int)dets.size();
+                dets.push_back(d);
+            }
+        }
+    }
+    std::size_t nd = dets.size(), ne = errs.size();
+    std::vector<uint8_t> syn(nd, 0);
+    for (uint32_t d : flipped) {
+        if (det_local[d] < 0) {
+            // A flipped detector with no adjacent error in the region:
+            // unsolvable here.
+            ok = false;
+            return 0;
+        }
+        syn[det_local[d]] = 1;
+    }
+
+    // Edge lists (local).
+    struct ColEdges
+    {
+        std::size_t begin, count;
+    };
+    std::vector<ColEdges> col_edges(ne);
+    std::vector<uint32_t> edge_det;   // local detector per edge
+    std::vector<double> msg_c2d;      // column -> detector messages
+    for (std::size_t c = 0; c < ne; ++c) {
+        col_edges[c].begin = edge_det.size();
+        col_edges[c].count = colDets_[errs[c]].size();
+        for (uint32_t d : colDets_[errs[c]]) {
+            edge_det.push_back((uint32_t)det_local[d]);
+            msg_c2d.push_back(prior_[errs[c]]);
+        }
+    }
+    std::vector<std::vector<uint32_t>> det_edges(nd);
+    for (std::size_t c = 0; c < ne; ++c) {
+        for (std::size_t k = 0; k < col_edges[c].count; ++k) {
+            det_edges[edge_det[col_edges[c].begin + k]].push_back(
+                (uint32_t)(col_edges[c].begin + k));
+        }
+    }
+
+    std::vector<double> msg_d2c(edge_det.size(), 0.0);
+    std::vector<double> posterior(ne, 0.0);
+    std::vector<uint8_t> hard(ne, 0);
+
+    auto check_syndrome = [&]() {
+        std::vector<uint8_t> acc(nd, 0);
+        for (std::size_t c = 0; c < ne; ++c) {
+            if (!hard[c]) {
+                continue;
+            }
+            for (std::size_t k = 0; k < col_edges[c].count; ++k) {
+                acc[edge_det[col_edges[c].begin + k]] ^= 1;
+            }
+        }
+        return acc == syn;
+    };
+
+    bool converged = false;
+    for (std::size_t it = 0; it < opts_.maxIterations && !converged; ++it) {
+        // Detector -> column (min-sum with normalization).
+        for (std::size_t d = 0; d < nd; ++d) {
+            const auto &edges = det_edges[d];
+            // Compute product of signs and two smallest magnitudes.
+            int sign = syn[d] ? -1 : 1;
+            double min1 = 1e300, min2 = 1e300;
+            std::size_t argmin = 0;
+            for (uint32_t e : edges) {
+                double v = msg_c2d[e];
+                if (v < 0) {
+                    sign = -sign;
+                }
+                double a = std::fabs(v);
+                if (a < min1) {
+                    min2 = min1;
+                    min1 = a;
+                    argmin = e;
+                } else if (a < min2) {
+                    min2 = a;
+                }
+            }
+            for (uint32_t e : edges) {
+                double mag = (e == argmin) ? min2 : min1;
+                int s = sign;
+                if (msg_c2d[e] < 0) {
+                    s = -s;
+                }
+                msg_d2c[e] = opts_.scale * s * mag;
+            }
+        }
+        // Column -> detector, posterior, hard decision.
+        for (std::size_t c = 0; c < ne; ++c) {
+            double total = prior_[errs[c]];
+            for (std::size_t k = 0; k < col_edges[c].count; ++k) {
+                total += msg_d2c[col_edges[c].begin + k];
+            }
+            posterior[c] = total;
+            hard[c] = total < 0;
+            for (std::size_t k = 0; k < col_edges[c].count; ++k) {
+                std::size_t e = col_edges[c].begin + k;
+                msg_c2d[e] = total - msg_d2c[e];
+            }
+        }
+        converged = check_syndrome();
+    }
+
+    uint64_t result = 0;
+    if (converged) {
+        for (std::size_t c = 0; c < ne; ++c) {
+            if (hard[c]) {
+                result ^= colObs_[errs[c]];
+            }
+        }
+        ok = true;
+        return result;
+    }
+
+    // OSD-0: process columns in decreasing error likelihood (ascending
+    // posterior LLR) and solve H x = s by incremental elimination on column
+    // vectors over the local detectors.
+    std::vector<uint32_t> order(ne);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return posterior[a] < posterior[b];
+    });
+
+    std::size_t words = (nd + 63) / 64;
+    std::vector<uint64_t> s_vec(words, 0);
+    for (std::size_t d = 0; d < nd; ++d) {
+        if (syn[d]) {
+            s_vec[d >> 6] |= uint64_t{1} << (d & 63);
+        }
+    }
+    struct Pivot
+    {
+        std::size_t row;
+        std::vector<uint64_t> col;
+        uint32_t errCol;
+        std::vector<uint32_t> members; ///< original columns XORed in
+    };
+    std::vector<Pivot> pivots;
+    std::vector<uint8_t> sol_uses(ne, 0);
+    bool solved = false;
+    // Reduce the syndrome as we go; solution = pivots whose row bit is set
+    // in the (running) reduced syndrome.
+    for (uint32_t oc : order) {
+        // Build the column vector.
+        std::vector<uint64_t> col(words, 0);
+        for (std::size_t k = 0; k < col_edges[oc].count; ++k) {
+            uint32_t d = edge_det[col_edges[oc].begin + k];
+            col[d >> 6] |= uint64_t{1} << (d & 63);
+        }
+        std::vector<uint32_t> members{oc};
+        for (const Pivot &p : pivots) {
+            if ((col[p.row >> 6] >> (p.row & 63)) & 1) {
+                for (std::size_t w = 0; w < words; ++w) {
+                    col[w] ^= p.col[w];
+                }
+                for (uint32_t mc : p.members) {
+                    members.push_back(mc);
+                }
+            }
+        }
+        std::size_t row = nd;
+        for (std::size_t w = 0; w < words && row == nd; ++w) {
+            if (col[w]) {
+                row = (w << 6) + std::countr_zero(col[w]);
+            }
+        }
+        if (row == nd) {
+            continue; // dependent column
+        }
+        pivots.push_back({row, std::move(col), oc, std::move(members)});
+        // Check if the syndrome is now explainable.
+        std::vector<uint64_t> r = s_vec;
+        std::vector<uint8_t> use(pivots.size(), 0);
+        for (std::size_t pi = 0; pi < pivots.size(); ++pi) {
+            const Pivot &p = pivots[pi];
+            if ((r[p.row >> 6] >> (p.row & 63)) & 1) {
+                for (std::size_t w = 0; w < words; ++w) {
+                    r[w] ^= p.col[w];
+                }
+                use[pi] = 1;
+            }
+        }
+        bool zero = true;
+        for (uint64_t w : r) {
+            if (w) {
+                zero = false;
+                break;
+            }
+        }
+        if (zero) {
+            std::fill(sol_uses.begin(), sol_uses.end(), 0);
+            for (std::size_t pi = 0; pi < pivots.size(); ++pi) {
+                if (use[pi]) {
+                    for (uint32_t mc : pivots[pi].members) {
+                        sol_uses[mc] ^= 1;
+                    }
+                }
+            }
+            solved = true;
+            break;
+        }
+    }
+    if (!solved) {
+        ok = false;
+        return 0;
+    }
+    for (std::size_t c = 0; c < ne; ++c) {
+        if (sol_uses[c]) {
+            result ^= colObs_[errs[c]];
+        }
+    }
+    ok = true;
+    return result;
+}
+
+uint64_t
+BpOsdDecoder::decode(const std::vector<uint32_t> &flipped_detectors)
+{
+    if (flipped_detectors.empty()) {
+        return 0;
+    }
+    // Weight-1 fast path: a syndrome exactly matching one mechanism is
+    // overwhelmingly most likely explained by it (p >> p^2).
+    auto hit = single_.find(flipped_detectors);
+    if (hit != single_.end()) {
+        return hit->second.first;
+    }
+    // Localized region: errors within regionRadius expansion layers of the
+    // flipped detectors.
+    std::vector<uint8_t> err_in(colDets_.size(), 0);
+    std::vector<uint8_t> det_in(numDetectors_, 0);
+    std::vector<uint32_t> frontier_dets = flipped_detectors;
+    std::vector<uint32_t> errs;
+    for (uint32_t d : frontier_dets) {
+        det_in[d] = 1;
+    }
+    for (std::size_t layer = 0; layer < opts_.regionRadius; ++layer) {
+        std::vector<uint32_t> new_dets;
+        for (uint32_t d : frontier_dets) {
+            for (uint32_t e : detCols_[d]) {
+                if (err_in[e]) {
+                    continue;
+                }
+                err_in[e] = 1;
+                errs.push_back(e);
+                for (uint32_t dd : colDets_[e]) {
+                    if (!det_in[dd]) {
+                        det_in[dd] = 1;
+                        new_dets.push_back(dd);
+                    }
+                }
+            }
+        }
+        frontier_dets = std::move(new_dets);
+        if (frontier_dets.empty()) {
+            break;
+        }
+    }
+    bool ok = false;
+    uint64_t result = decodeRegion(errs, flipped_detectors, ok);
+    if (ok) {
+        return result;
+    }
+    // Fall back to the full graph.
+    std::vector<uint32_t> all(colDets_.size());
+    std::iota(all.begin(), all.end(), 0);
+    result = decodeRegion(all, flipped_detectors, ok);
+    return result;
+}
+
+} // namespace prophunt::decoder

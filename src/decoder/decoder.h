@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Common decoder interface.
+ *
+ * A decoder receives the set of flipped detectors of one shot and predicts
+ * which logical observables flipped, as a bit mask (observable i = bit i).
+ * The library supports up to 64 observables per memory experiment, far more
+ * than any benchmark code needs (max k = 18).
+ */
+#ifndef PROPHUNT_DECODER_DECODER_H
+#define PROPHUNT_DECODER_DECODER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace prophunt::decoder {
+
+/** Abstract syndrome decoder. */
+class Decoder
+{
+  public:
+    virtual ~Decoder() = default;
+
+    /**
+     * Predict the observable flip mask for one shot.
+     *
+     * @param flipped_detectors Sorted indices of flipped detectors.
+     * @return Bit mask of predicted observable flips.
+     */
+    virtual uint64_t decode(const std::vector<uint32_t> &flipped_detectors) = 0;
+};
+
+} // namespace prophunt::decoder
+
+#endif // PROPHUNT_DECODER_DECODER_H

@@ -1,0 +1,57 @@
+#include "decoder/logical_error.h"
+
+#include "decoder/bp_osd.h"
+#include "decoder/union_find.h"
+#include "sim/dem_builder.h"
+#include "sim/sampler.h"
+
+namespace prophunt::decoder {
+
+std::unique_ptr<Decoder>
+makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
+            DecoderKind kind)
+{
+    if (kind == DecoderKind::UnionFind) {
+        return std::make_unique<UnionFindDecoder>(
+            buildMatchingGraph(dem, circuit));
+    }
+    return std::make_unique<BpOsdDecoder>(dem);
+}
+
+LerResult
+measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
+              uint64_t seed)
+{
+    sim::SampleBatch batch = sim::sampleDem(dem, shots, seed);
+    LerResult result;
+    result.shots = shots;
+    for (std::size_t s = 0; s < shots; ++s) {
+        uint64_t predicted = dec.decode(batch.flippedDetectors(s));
+        if (predicted != batch.obsMask(s)) {
+            ++result.failures;
+        }
+    }
+    return result;
+}
+
+MemoryLer
+measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
+                 const sim::NoiseModel &noise, DecoderKind kind,
+                 std::size_t shots, uint64_t seed)
+{
+    MemoryLer out;
+    for (auto basis : {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
+        circuit::SmCircuit circ =
+            circuit::buildMemoryCircuit(schedule, rounds, basis);
+        sim::Dem dem = sim::buildDem(circ, noise);
+        auto dec = makeDecoder(dem, circ, kind);
+        LerResult r = measureDemLer(dem, *dec, shots,
+                                    seed ^ (basis == circuit::MemoryBasis::X
+                                                ? 0x9e3779b97f4a7c15ULL
+                                                : 0));
+        (basis == circuit::MemoryBasis::Z ? out.z : out.x) = r;
+    }
+    return out;
+}
+
+} // namespace prophunt::decoder

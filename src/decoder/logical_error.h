@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Logical-error-rate measurement harness.
+ *
+ * Ties together circuit construction, DEM extraction, sampling, and
+ * decoding. The reported quantity matches the paper's evaluation: the
+ * combined probability of a logical X or logical Z error over a d-round
+ * memory experiment, estimated from separate memory-Z and memory-X runs.
+ */
+#ifndef PROPHUNT_DECODER_LOGICAL_ERROR_H
+#define PROPHUNT_DECODER_LOGICAL_ERROR_H
+
+#include <cstdint>
+#include <memory>
+
+#include "circuit/schedule.h"
+#include "circuit/sm_circuit.h"
+#include "decoder/decoder.h"
+#include "sim/dem.h"
+#include "sim/noise_model.h"
+
+namespace prophunt::decoder {
+
+/** Decoder selection for LER measurements. */
+enum class DecoderKind
+{
+    UnionFind, ///< Matching decoder, for surface codes.
+    BpOsd,     ///< LDPC decoder, for LP/RQT codes.
+};
+
+/** Build the appropriate decoder for a DEM. */
+std::unique_ptr<Decoder> makeDecoder(const sim::Dem &dem,
+                                     const circuit::SmCircuit &circuit,
+                                     DecoderKind kind);
+
+/** Outcome of one Monte-Carlo LER estimate. */
+struct LerResult
+{
+    std::size_t shots = 0;
+    std::size_t failures = 0;
+
+    double
+    ler() const
+    {
+        return shots == 0 ? 0.0 : (double)failures / (double)shots;
+    }
+};
+
+/** Sample the DEM and decode each shot; failures are observable misses. */
+LerResult measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
+                        uint64_t seed);
+
+/** Combined memory-Z + memory-X logical error rate. */
+struct MemoryLer
+{
+    LerResult z; ///< Memory-Z experiment (decodes X-type faults).
+    LerResult x; ///< Memory-X experiment (decodes Z-type faults).
+
+    /** P(any logical error) = 1 - (1 - p_z)(1 - p_x). */
+    double
+    combined() const
+    {
+        return 1.0 - (1.0 - z.ler()) * (1.0 - x.ler());
+    }
+};
+
+/**
+ * Measure the combined LER of a schedule over @p rounds rounds.
+ *
+ * Runs both memory bases with @p shots shots each.
+ */
+MemoryLer measureMemoryLer(const circuit::SmSchedule &schedule,
+                           std::size_t rounds, const sim::NoiseModel &noise,
+                           DecoderKind kind, std::size_t shots,
+                           uint64_t seed);
+
+} // namespace prophunt::decoder
+
+#endif // PROPHUNT_DECODER_LOGICAL_ERROR_H

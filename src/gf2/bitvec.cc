@@ -1,0 +1,146 @@
+#include "gf2/bitvec.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace prophunt::gf2 {
+
+BitVec
+BitVec::fromBits(const std::vector<int> &bits)
+{
+    BitVec v(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i]) {
+            v.set(i, true);
+        }
+    }
+    return v;
+}
+
+BitVec
+BitVec::fromSupport(std::size_t n, const std::vector<std::size_t> &support)
+{
+    BitVec v(n);
+    for (std::size_t i : support) {
+        assert(i < n);
+        v.set(i, true);
+    }
+    return v;
+}
+
+BitVec &
+BitVec::operator^=(const BitVec &other)
+{
+    if (other.n_ != n_) {
+        throw std::invalid_argument("BitVec size mismatch in xor");
+    }
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+        w_[i] ^= other.w_[i];
+    }
+    return *this;
+}
+
+BitVec
+BitVec::operator^(const BitVec &other) const
+{
+    BitVec r = *this;
+    r ^= other;
+    return r;
+}
+
+std::size_t
+BitVec::popcount() const
+{
+    std::size_t c = 0;
+    for (uint64_t w : w_) {
+        c += std::popcount(w);
+    }
+    return c;
+}
+
+bool
+BitVec::isZero() const
+{
+    for (uint64_t w : w_) {
+        if (w) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::size_t
+BitVec::firstSet() const
+{
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+        if (w_[i]) {
+            return (i << 6) + std::countr_zero(w_[i]);
+        }
+    }
+    return n_;
+}
+
+bool
+BitVec::dot(const BitVec &other) const
+{
+    if (other.n_ != n_) {
+        throw std::invalid_argument("BitVec size mismatch in dot");
+    }
+    uint64_t acc = 0;
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+        acc ^= w_[i] & other.w_[i];
+    }
+    return std::popcount(acc) & 1;
+}
+
+std::vector<std::size_t>
+BitVec::support() const
+{
+    std::vector<std::size_t> s;
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+        uint64_t w = w_[i];
+        while (w) {
+            s.push_back((i << 6) + std::countr_zero(w));
+            w &= w - 1;
+        }
+    }
+    return s;
+}
+
+void
+BitVec::clear()
+{
+    for (uint64_t &w : w_) {
+        w = 0;
+    }
+}
+
+void
+BitVec::resize(std::size_t n)
+{
+    n_ = n;
+    w_.resize((n + 63) / 64, 0);
+    maskTail();
+}
+
+void
+BitVec::maskTail()
+{
+    if (n_ % 64 != 0 && !w_.empty()) {
+        w_.back() &= (uint64_t{1} << (n_ % 64)) - 1;
+    }
+}
+
+std::string
+BitVec::toString() const
+{
+    std::string s;
+    s.reserve(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+        s.push_back(get(i) ? '1' : '0');
+    }
+    return s;
+}
+
+} // namespace prophunt::gf2

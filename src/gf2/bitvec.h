@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Dense bit vector over GF(2), packed 64 bits per word.
+ *
+ * BitVec is the workhorse value type of the whole library: error patterns,
+ * syndromes, stabilizer rows and logical-observable rows are all GF(2)
+ * vectors. Arithmetic is mod-2 (XOR).
+ */
+#ifndef PROPHUNT_GF2_BITVEC_H
+#define PROPHUNT_GF2_BITVEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prophunt::gf2 {
+
+/**
+ * A fixed-length vector over GF(2).
+ *
+ * Bits beyond size() in the last word are kept zero (class invariant), so
+ * whole-word operations (XOR, popcount, comparison) need no masking.
+ */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** Construct an all-zero vector of @p n bits. */
+    explicit BitVec(std::size_t n) : n_(n), w_((n + 63) / 64, 0) {}
+
+    /** Construct from a list of 0/1 values. */
+    static BitVec fromBits(const std::vector<int> &bits);
+
+    /** Construct with the given support (indices set to 1). */
+    static BitVec fromSupport(std::size_t n, const std::vector<std::size_t> &support);
+
+    std::size_t size() const { return n_; }
+    std::size_t words() const { return w_.size(); }
+
+    bool get(std::size_t i) const { return (w_[i >> 6] >> (i & 63)) & 1; }
+
+    void
+    set(std::size_t i, bool v)
+    {
+        uint64_t mask = uint64_t{1} << (i & 63);
+        if (v) {
+            w_[i >> 6] |= mask;
+        } else {
+            w_[i >> 6] &= ~mask;
+        }
+    }
+
+    void flip(std::size_t i) { w_[i >> 6] ^= uint64_t{1} << (i & 63); }
+
+    /** XOR-accumulate @p other into this vector. Sizes must match. */
+    BitVec &operator^=(const BitVec &other);
+
+    BitVec operator^(const BitVec &other) const;
+
+    bool operator==(const BitVec &other) const = default;
+
+    /** Number of set bits (the Hamming weight of the vector). */
+    std::size_t popcount() const;
+
+    /** True if every bit is zero. */
+    bool isZero() const;
+
+    /** Index of the first set bit, or size() if none. */
+    std::size_t firstSet() const;
+
+    /** GF(2) inner product: parity of the AND of the two vectors. */
+    bool dot(const BitVec &other) const;
+
+    /** Indices of all set bits, ascending. */
+    std::vector<std::size_t> support() const;
+
+    /** Zero every bit while keeping the length. */
+    void clear();
+
+    /** Grow or shrink to @p n bits; new bits are zero. */
+    void resize(std::size_t n);
+
+    /** Raw word access for bulk algorithms (row reduction, sampling). */
+    uint64_t word(std::size_t i) const { return w_[i]; }
+    uint64_t &word(std::size_t i) { return w_[i]; }
+
+    /** Render as a 0/1 string, index 0 first. */
+    std::string toString() const;
+
+  private:
+    /** Clear any bits at positions >= n_ in the last word. */
+    void maskTail();
+
+    std::size_t n_ = 0;
+    std::vector<uint64_t> w_;
+};
+
+} // namespace prophunt::gf2
+
+#endif // PROPHUNT_GF2_BITVEC_H

@@ -1,0 +1,299 @@
+#include "gf2/matrix.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace prophunt::gf2 {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : cols_(cols), rows_(rows, BitVec(cols))
+{
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m.set(i, i, true);
+    }
+    return m;
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<int>> &rows)
+{
+    Matrix m;
+    for (const auto &r : rows) {
+        m.appendRow(BitVec::fromBits(r));
+    }
+    return m;
+}
+
+void
+Matrix::appendRow(const BitVec &r)
+{
+    if (rows_.empty() && cols_ == 0) {
+        cols_ = r.size();
+    }
+    if (r.size() != cols_) {
+        throw std::invalid_argument("Matrix::appendRow size mismatch");
+    }
+    rows_.push_back(r);
+}
+
+BitVec
+Matrix::column(std::size_t c) const
+{
+    BitVec v(rows());
+    for (std::size_t r = 0; r < rows(); ++r) {
+        if (rows_[r].get(c)) {
+            v.set(r, true);
+        }
+    }
+    return v;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix t(cols_, rows());
+    for (std::size_t r = 0; r < rows(); ++r) {
+        for (std::size_t c : rows_[r].support()) {
+            t.set(c, r, true);
+        }
+    }
+    return t;
+}
+
+BitVec
+Matrix::mulVec(const BitVec &v) const
+{
+    if (v.size() != cols_) {
+        throw std::invalid_argument("Matrix::mulVec size mismatch");
+    }
+    BitVec out(rows());
+    for (std::size_t r = 0; r < rows(); ++r) {
+        if (rows_[r].dot(v)) {
+            out.set(r, true);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::mul(const Matrix &other) const
+{
+    if (other.rows() != cols_) {
+        throw std::invalid_argument("Matrix::mul shape mismatch");
+    }
+    Matrix out(rows(), other.cols());
+    for (std::size_t r = 0; r < rows(); ++r) {
+        for (std::size_t k : rows_[r].support()) {
+            out.rows_[r] ^= other.rows_[k];
+        }
+    }
+    return out;
+}
+
+RowEchelon
+Matrix::rowEchelon() const
+{
+    RowEchelon re;
+    re.rows = rows_;
+    std::size_t pivot_row = 0;
+    for (std::size_t c = 0; c < cols_ && pivot_row < re.rows.size(); ++c) {
+        // Find a row at or below pivot_row with a 1 in column c.
+        std::size_t sel = re.rows.size();
+        for (std::size_t r = pivot_row; r < re.rows.size(); ++r) {
+            if (re.rows[r].get(c)) {
+                sel = r;
+                break;
+            }
+        }
+        if (sel == re.rows.size()) {
+            continue;
+        }
+        std::swap(re.rows[pivot_row], re.rows[sel]);
+        for (std::size_t r = 0; r < re.rows.size(); ++r) {
+            if (r != pivot_row && re.rows[r].get(c)) {
+                re.rows[r] ^= re.rows[pivot_row];
+            }
+        }
+        re.pivotCol.push_back(c);
+        ++pivot_row;
+    }
+    re.rank = pivot_row;
+    re.rows.resize(re.rank, BitVec(cols_));
+    return re;
+}
+
+std::size_t
+Matrix::rank() const
+{
+    return rowEchelon().rank;
+}
+
+bool
+Matrix::rowSpaceContains(const BitVec &v) const
+{
+    if (v.size() != cols_) {
+        throw std::invalid_argument("rowSpaceContains size mismatch");
+    }
+    RowEchelon re = rowEchelon();
+    BitVec residual = v;
+    for (std::size_t r = 0; r < re.rank; ++r) {
+        if (residual.get(re.pivotCol[r])) {
+            residual ^= re.rows[r];
+        }
+    }
+    return residual.isZero();
+}
+
+std::vector<BitVec>
+Matrix::kernelBasis() const
+{
+    RowEchelon re = rowEchelon();
+    std::vector<bool> is_pivot(cols_, false);
+    for (std::size_t c : re.pivotCol) {
+        is_pivot[c] = true;
+    }
+    std::vector<BitVec> basis;
+    for (std::size_t free_c = 0; free_c < cols_; ++free_c) {
+        if (is_pivot[free_c]) {
+            continue;
+        }
+        BitVec x(cols_);
+        x.set(free_c, true);
+        // Back-substitute: pivot variable r takes the value of the free
+        // column entry in its reduced row.
+        for (std::size_t r = 0; r < re.rank; ++r) {
+            if (re.rows[r].get(free_c)) {
+                x.set(re.pivotCol[r], true);
+            }
+        }
+        basis.push_back(std::move(x));
+    }
+    return basis;
+}
+
+std::optional<BitVec>
+Matrix::solve(const BitVec &b) const
+{
+    if (b.size() != rows()) {
+        throw std::invalid_argument("Matrix::solve size mismatch");
+    }
+    // Eliminate on the augmented matrix [A | b].
+    std::vector<BitVec> work = rows_;
+    BitVec rhs = b;
+    std::vector<std::size_t> pivot_col;
+    std::size_t pivot_row = 0;
+    for (std::size_t c = 0; c < cols_ && pivot_row < work.size(); ++c) {
+        std::size_t sel = work.size();
+        for (std::size_t r = pivot_row; r < work.size(); ++r) {
+            if (work[r].get(c)) {
+                sel = r;
+                break;
+            }
+        }
+        if (sel == work.size()) {
+            continue;
+        }
+        std::swap(work[pivot_row], work[sel]);
+        bool tmp = rhs.get(pivot_row);
+        rhs.set(pivot_row, rhs.get(sel));
+        rhs.set(sel, tmp);
+        for (std::size_t r = 0; r < work.size(); ++r) {
+            if (r != pivot_row && work[r].get(c)) {
+                work[r] ^= work[pivot_row];
+                rhs.set(r, rhs.get(r) ^ rhs.get(pivot_row));
+            }
+        }
+        pivot_col.push_back(c);
+        ++pivot_row;
+    }
+    // Inconsistent if a zero row has rhs 1.
+    for (std::size_t r = pivot_row; r < work.size(); ++r) {
+        if (rhs.get(r)) {
+            return std::nullopt;
+        }
+    }
+    BitVec x(cols_);
+    for (std::size_t r = 0; r < pivot_row; ++r) {
+        if (rhs.get(r)) {
+            x.set(pivot_col[r], true);
+        }
+    }
+    return x;
+}
+
+Matrix
+Matrix::selectRows(const std::vector<std::size_t> &idx) const
+{
+    Matrix m(idx.size(), cols_);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        m.rows_[i] = rows_[idx[i]];
+    }
+    return m;
+}
+
+Matrix
+Matrix::selectCols(const std::vector<std::size_t> &idx) const
+{
+    Matrix m(rows(), idx.size());
+    for (std::size_t r = 0; r < rows(); ++r) {
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+            if (rows_[r].get(idx[i])) {
+                m.set(r, i, true);
+            }
+        }
+    }
+    return m;
+}
+
+Matrix
+Matrix::vstack(const Matrix &bottom) const
+{
+    if (bottom.rows() > 0 && rows() > 0 && bottom.cols() != cols_) {
+        throw std::invalid_argument("vstack column mismatch");
+    }
+    Matrix m = *this;
+    if (m.rows() == 0) {
+        m.cols_ = bottom.cols_;
+    }
+    for (std::size_t r = 0; r < bottom.rows(); ++r) {
+        m.rows_.push_back(bottom.rows_[r]);
+    }
+    return m;
+}
+
+Matrix
+Matrix::hstack(const Matrix &right) const
+{
+    if (right.rows() != rows()) {
+        throw std::invalid_argument("hstack row mismatch");
+    }
+    Matrix m(rows(), cols_ + right.cols());
+    for (std::size_t r = 0; r < rows(); ++r) {
+        for (std::size_t c : rows_[r].support()) {
+            m.set(r, c, true);
+        }
+        for (std::size_t c : right.rows_[r].support()) {
+            m.set(r, cols_ + c, true);
+        }
+    }
+    return m;
+}
+
+std::string
+Matrix::toString() const
+{
+    std::string s;
+    for (std::size_t r = 0; r < rows(); ++r) {
+        s += rows_[r].toString();
+        s.push_back('\n');
+    }
+    return s;
+}
+
+} // namespace prophunt::gf2

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Dense matrix over GF(2) with row-major bit-packed storage.
+ *
+ * All the linear-algebra questions the paper asks — "is L' in the row space
+ * of H'?", "what is the kernel of H_Z?", "what is rank(H)?" — reduce to
+ * Gaussian elimination over GF(2), implemented here on packed words.
+ */
+#ifndef PROPHUNT_GF2_MATRIX_H
+#define PROPHUNT_GF2_MATRIX_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gf2/bitvec.h"
+
+namespace prophunt::gf2 {
+
+/** Result of row reduction: the reduced matrix plus pivot bookkeeping. */
+struct RowEchelon
+{
+    /** Reduced row-echelon form of the input. */
+    std::vector<BitVec> rows;
+    /** pivotCol[r] = pivot column of reduced row r (rows beyond rank absent). */
+    std::vector<std::size_t> pivotCol;
+    /** Rank of the input matrix. */
+    std::size_t rank = 0;
+};
+
+/**
+ * A rows() x cols() matrix over GF(2).
+ *
+ * Rows are BitVec values; column operations are done through transposition
+ * or per-bit access. The class is a plain value type: cheap to copy for the
+ * small matrices PropHunt's subgraph analysis uses, and move-friendly for
+ * the large circuit-level check matrices.
+ */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** All-zero matrix of the given shape. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    /** Build from 0/1 integer rows (handy in tests and code tables). */
+    static Matrix fromRows(const std::vector<std::vector<int>> &rows);
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t cols() const { return cols_; }
+
+    bool get(std::size_t r, std::size_t c) const { return rows_[r].get(c); }
+    void set(std::size_t r, std::size_t c, bool v) { rows_[r].set(c, v); }
+
+    const BitVec &row(std::size_t r) const { return rows_[r]; }
+    BitVec &row(std::size_t r) { return rows_[r]; }
+
+    /** Append a row (must match cols(), unless the matrix is empty). */
+    void appendRow(const BitVec &r);
+
+    /** Extract column @p c as a BitVec of length rows(). */
+    BitVec column(std::size_t c) const;
+
+    Matrix transpose() const;
+
+    /** Matrix-vector product over GF(2): returns A * v (length rows()). */
+    BitVec mulVec(const BitVec &v) const;
+
+    /** Matrix product over GF(2). */
+    Matrix mul(const Matrix &other) const;
+
+    bool operator==(const Matrix &other) const = default;
+
+    /** Rank via Gaussian elimination (input is untouched). */
+    std::size_t rank() const;
+
+    /** Full reduced row-echelon decomposition. */
+    RowEchelon rowEchelon() const;
+
+    /**
+     * True iff @p v lies in the row space of this matrix.
+     *
+     * This is the paper's ambiguity primitive: a subgraph has an ambiguous
+     * error iff some logical row is NOT in the row space of H'.
+     */
+    bool rowSpaceContains(const BitVec &v) const;
+
+    /** Basis of the (right) kernel: all x with A x = 0. */
+    std::vector<BitVec> kernelBasis() const;
+
+    /** One solution x of A x = b, or nullopt if inconsistent. */
+    std::optional<BitVec> solve(const BitVec &b) const;
+
+    /** Submatrix with the given rows (in order). */
+    Matrix selectRows(const std::vector<std::size_t> &idx) const;
+
+    /** Submatrix with the given columns (in order). */
+    Matrix selectCols(const std::vector<std::size_t> &idx) const;
+
+    /** Stack @p bottom below this matrix (column counts must match). */
+    Matrix vstack(const Matrix &bottom) const;
+
+    /** Concatenate @p right to the right of this matrix (row counts match). */
+    Matrix hstack(const Matrix &right) const;
+
+    std::string toString() const;
+
+  private:
+    std::size_t cols_ = 0;
+    std::vector<BitVec> rows_;
+};
+
+} // namespace prophunt::gf2
+
+#endif // PROPHUNT_GF2_MATRIX_H

@@ -1,0 +1,155 @@
+#include "prophunt/changes.h"
+
+#include <algorithm>
+#include <set>
+
+namespace prophunt::core {
+
+namespace {
+
+bool
+hasXComponent(sim::Pauli p)
+{
+    return p == sim::Pauli::X || p == sim::Pauli::Y;
+}
+
+bool
+hasZComponent(sim::Pauli p)
+{
+    return p == sim::Pauli::Z || p == sim::Pauli::Y;
+}
+
+/**
+ * Hook classification: does this CNOT fault put a propagating Pauli on the
+ * ancilla mid-sequence? For an X check the ancilla is the control and an X
+ * component spreads to the data targets of subsequent CNOTs; for a Z check
+ * the ancilla is the target and a Z component spreads back onto the data
+ * controls of subsequent CNOTs (paper Section 2.8).
+ */
+bool
+isHookFault(const sim::FaultLoc &loc, bool check_is_x, std::size_t weight)
+{
+    if (!loc.isCnot || loc.cnot.posInCheck + 1 >= weight) {
+        return false; // last CNOT cannot spread within the round
+    }
+    if (check_is_x) {
+        return hasXComponent(loc.p0); // ancilla is qubit 0 (control)
+    }
+    return hasZComponent(loc.p1); // ancilla is qubit 1 (target)
+}
+
+} // namespace
+
+circuit::SmSchedule
+CircuitChange::apply(const circuit::SmSchedule &s) const
+{
+    if (kind == Kind::Reorder) {
+        return s.withReorder(check, fromPos, beforePos);
+    }
+    circuit::SmSchedule out = s;
+    for (const auto &[qubit, a, b] : swaps) {
+        out = out.withRelativeSwap(qubit, a, b);
+    }
+    return out;
+}
+
+std::string
+CircuitChange::key() const
+{
+    std::string k = kind == Kind::Reorder ? "O" : "S";
+    if (kind == Kind::Reorder) {
+        k += std::to_string(check) + "," + std::to_string(fromPos) + "," +
+             std::to_string(beforePos);
+    } else {
+        for (const auto &[q, a, b] : swaps) {
+            k += std::to_string(q) + ":" + std::to_string(std::min(a, b)) +
+                 "-" + std::to_string(std::max(a, b)) + ";";
+        }
+    }
+    return k;
+}
+
+std::vector<CircuitChange>
+enumerateChanges(const circuit::SmSchedule &schedule, const sim::Dem &dem,
+                 const circuit::SmCircuit &circ,
+                 const std::vector<uint32_t> &logical_errors, sim::Rng &rng)
+{
+    const code::CssCode &code = schedule.code();
+    std::vector<CircuitChange> out;
+    std::set<std::string> seen;
+    auto push = [&](CircuitChange c) {
+        if (seen.insert(c.key()).second) {
+            out.push_back(std::move(c));
+        }
+    };
+
+    for (uint32_t err : logical_errors) {
+        const sim::ErrorMechanism &mech = dem.errors[err];
+        for (const sim::FaultLoc &loc : mech.sources) {
+            if (!loc.isCnot || loc.cnot.flag) {
+                continue; // flag couplings are not schedule slots
+            }
+            std::size_t c = loc.cnot.check;
+            std::size_t qi = loc.cnot.dataQubit;
+            std::size_t pos = loc.cnot.posInCheck;
+            std::size_t w = schedule.checkOrder(c).size();
+            bool cx = code.isXCheck(c);
+
+            // Reordering changes for hook errors: move each other qubit
+            // directly before the hook CNOT.
+            if (isHookFault(loc, cx, w)) {
+                for (std::size_t j = 0; j < w; ++j) {
+                    if (j == pos) {
+                        continue;
+                    }
+                    CircuitChange ch;
+                    ch.kind = CircuitChange::Kind::Reorder;
+                    ch.check = c;
+                    ch.fromPos = j;
+                    ch.beforePos = pos;
+                    push(std::move(ch));
+                }
+            }
+
+            // Rescheduling changes: swap this check against every check
+            // flipped by the error (the paper's S_{q,i}) that shares
+            // qubit qi.
+            std::set<std::size_t> flipped_checks;
+            for (uint32_t d : mech.detectors) {
+                flipped_checks.insert(circ.detectorSource[d].first);
+            }
+            for (std::size_t other : schedule.qubitOrder(qi)) {
+                if (other == c || !flipped_checks.count(other)) {
+                    continue;
+                }
+                CircuitChange ch;
+                ch.kind = CircuitChange::Kind::Reschedule;
+                ch.swaps.push_back({qi, c, other});
+                bool other_x = code.isXCheck(other);
+                if (other_x != cx) {
+                    // Preserve commutation with a paired swap on another
+                    // shared qubit.
+                    std::vector<std::size_t> shared =
+                        schedule.sharedQubits(c, other);
+                    std::vector<std::size_t> others;
+                    for (std::size_t q : shared) {
+                        if (q != qi) {
+                            others.push_back(q);
+                        }
+                    }
+                    if (others.empty()) {
+                        continue; // cannot preserve commutation
+                    }
+                    std::size_t qk = others.size() == 1
+                                         ? others[0]
+                                         : others[rng.below(others.size())];
+                    ch.swaps.push_back({qk, c, other});
+                }
+                push(std::move(ch));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace prophunt::core

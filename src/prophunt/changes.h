@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Candidate SM-circuit change enumeration (paper Section 5.3).
+ *
+ * Each error mechanism of a found min-weight logical error maps back to the
+ * CNOT gates that can produce it. Two change types modify how such errors
+ * propagate:
+ *
+ *  - Reordering (5.3.1): for a hook error caused by the CNOT at position i
+ *    of a weight-w check, w-1 candidates each move another data qubit
+ *    directly before position i.
+ *  - Rescheduling (5.3.2): swap the relative order of the fault's check and
+ *    another check flipped by the error on the shared data qubit; X/Z pairs
+ *    get a paired second swap on another shared qubit to preserve
+ *    stabilizer commutation.
+ */
+#ifndef PROPHUNT_PROPHUNT_CHANGES_H
+#define PROPHUNT_PROPHUNT_CHANGES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <array>
+
+#include "circuit/schedule.h"
+#include "circuit/sm_circuit.h"
+#include "sim/dem.h"
+#include "sim/rng.h"
+
+namespace prophunt::core {
+
+/** One candidate schedule change. */
+struct CircuitChange
+{
+    enum class Kind { Reorder, Reschedule };
+
+    Kind kind = Kind::Reorder;
+    /** Reorder: check, from position, before position. */
+    std::size_t check = 0;
+    std::size_t fromPos = 0;
+    std::size_t beforePos = 0;
+    /** Reschedule: swaps of (qubit, checkA, checkB); one or two entries. */
+    std::vector<std::array<std::size_t, 3>> swaps;
+
+    /** Apply to a schedule, returning the modified copy. */
+    circuit::SmSchedule apply(const circuit::SmSchedule &s) const;
+
+    /** Stable key for deduplication. */
+    std::string key() const;
+};
+
+/**
+ * Enumerate candidate changes for a min-weight logical error.
+ *
+ * @param schedule Current schedule.
+ * @param dem DEM the error was found in (provides gate provenance).
+ * @param circ Circuit the DEM came from (maps detectors back to checks).
+ * @param logical_errors Mechanism indices of the logical error.
+ * @param rng Used for the random q_k selection when an X/Z rescheduling
+ * pair shares more than two qubits.
+ */
+std::vector<CircuitChange> enumerateChanges(
+    const circuit::SmSchedule &schedule, const sim::Dem &dem,
+    const circuit::SmCircuit &circ,
+    const std::vector<uint32_t> &logical_errors, sim::Rng &rng);
+
+} // namespace prophunt::core
+
+#endif // PROPHUNT_PROPHUNT_CHANGES_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Min-weight logical-error solving via MaxSAT (paper Section 5.2).
+ *
+ * Variables are error mechanisms. Hard constraints define every syndrome
+ * and logical parity through Tseitin XOR trees, force all syndromes false
+ * (the error is undetected) and at least one logical observable true. Soft
+ * constraints prefer every error false, so the optimum is a minimum-weight
+ * undetected logical error. Works on a subgraph (fast, the PropHunt inner
+ * loop) or on the whole DEM (the intractable global formulation of
+ * Table 2).
+ */
+#ifndef PROPHUNT_PROPHUNT_MINWEIGHT_H
+#define PROPHUNT_PROPHUNT_MINWEIGHT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "prophunt/subgraph.h"
+#include "sat/maxsat.h"
+#include "sim/dem.h"
+
+namespace prophunt::core {
+
+/** Result of a min-weight logical-error solve. */
+struct MinWeightResult
+{
+    /** True iff an undetected logical error exists (and was found). */
+    bool found = false;
+    /** Weight (mechanism count) of the found error. */
+    std::size_t weight = 0;
+    /** Global mechanism indices of the found error. */
+    std::vector<uint32_t> errors;
+    sat::MaxSatStats stats;
+};
+
+/** Solve on a subgraph (H', L' restricted to its nodes). */
+MinWeightResult solveMinWeightLogical(const sim::Dem &dem,
+                                      const Subgraph &subgraph,
+                                      std::size_t max_cost,
+                                      double timeout_seconds);
+
+/** Solve on the full DEM — the global formulation of Table 2. */
+MinWeightResult solveGlobalMinWeight(const sim::Dem &dem,
+                                     std::size_t max_cost,
+                                     double timeout_seconds);
+
+} // namespace prophunt::core
+
+#endif // PROPHUNT_PROPHUNT_MINWEIGHT_H

@@ -1,0 +1,293 @@
+#include "prophunt/optimizer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "sim/dem_builder.h"
+
+namespace prophunt::core {
+
+namespace {
+
+std::size_t
+workerCount(std::size_t requested)
+{
+    if (requested > 0) {
+        return requested;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : hw;
+}
+
+/** Run fn(i) for i in [0, n) across the given number of threads. */
+template <typename Fn>
+void
+parallelFor(std::size_t n, std::size_t threads, Fn fn)
+{
+    if (n == 0) {
+        return;
+    }
+    threads = std::min(threads, n);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&]() {
+            for (std::size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1)) {
+                fn(i);
+            }
+        });
+    }
+    for (auto &th : pool) {
+        th.join();
+    }
+}
+
+/** Ambiguous subgraphs sampled from one DEM, deduplicated. */
+std::vector<Subgraph>
+sampleAmbiguous(const sim::Dem &dem, std::size_t samples,
+                std::size_t max_errors, std::size_t max_keep,
+                std::size_t threads, uint64_t seed)
+{
+    SubgraphFinder finder(dem);
+    std::mutex mu;
+    std::vector<Subgraph> found;
+    std::set<std::vector<uint32_t>> seen;
+    std::atomic<bool> full{false};
+
+    std::size_t workers = std::max<std::size_t>(1, std::min(threads, samples));
+    std::size_t per_worker = (samples + workers - 1) / workers;
+    parallelFor(workers, workers, [&](std::size_t t) {
+        sim::Rng rng(seed ^ (0x517cc1b727220a95ULL * (t + 1)));
+        for (std::size_t i = 0; i < per_worker && !full.load(); ++i) {
+            Subgraph sg = finder.sample(rng, max_errors);
+            if (!sg.ambiguous) {
+                continue;
+            }
+            std::vector<uint32_t> key = sg.detectors;
+            std::sort(key.begin(), key.end());
+            std::lock_guard<std::mutex> lock(mu);
+            if (found.size() >= max_keep) {
+                full.store(true);
+                return;
+            }
+            if (seen.insert(std::move(key)).second) {
+                found.push_back(std::move(sg));
+            }
+        }
+    });
+    return found;
+}
+
+} // namespace
+
+OptimizeResult
+PropHunt::optimize(const circuit::SmSchedule &start,
+                   std::size_t rounds) const
+{
+    OptimizeResult result;
+    result.snapshots.push_back(start);
+    circuit::SmSchedule current = start;
+    std::size_t threads = workerCount(opts_.threads);
+    sim::NoiseModel noise = sim::NoiseModel::uniform(opts_.p);
+    sim::Rng rng(opts_.seed);
+    std::size_t stalled = 0;
+
+    for (std::size_t iter = 0; iter < opts_.iterations; ++iter) {
+        IterationRecord rec;
+        rec.iteration = iter;
+
+        struct BasisWork
+        {
+            circuit::MemoryBasis basis;
+            circuit::SmCircuit circ;
+            sim::Dem dem;
+            std::vector<Subgraph> subgraphs;
+        };
+        std::vector<BasisWork> work;
+        for (auto basis :
+             {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
+            BasisWork w;
+            w.basis = basis;
+            w.circ = circuit::buildMemoryCircuit(current, rounds, basis);
+            w.dem = sim::buildDem(w.circ, noise);
+            w.subgraphs = sampleAmbiguous(
+                w.dem, opts_.samplesPerIteration / 2,
+                opts_.maxSubgraphErrors, opts_.maxAmbiguousPerIteration,
+                threads, opts_.seed ^ (iter * 2654435761u) ^
+                             (basis == circuit::MemoryBasis::X ? 0xabcdu
+                                                               : 0));
+            rec.ambiguousFound += w.subgraphs.size();
+            work.push_back(std::move(w));
+        }
+
+        // Solve each ambiguous subgraph and enumerate+verify candidates.
+        struct SubgraphPlan
+        {
+            const BasisWork *bw;
+            const Subgraph *sg;
+            MinWeightResult mw;
+            std::vector<CircuitChange> candidates;
+            std::vector<VerifiedChange> verified;
+        };
+        std::vector<SubgraphPlan> plans;
+        for (const BasisWork &bw : work) {
+            for (const Subgraph &sg : bw.subgraphs) {
+                plans.push_back({&bw, &sg, {}, {}, {}});
+            }
+        }
+        parallelFor(plans.size(), threads, [&](std::size_t i) {
+            plans[i].mw =
+                solveMinWeightLogical(plans[i].bw->dem, *plans[i].sg,
+                                      opts_.maxCost,
+                                      opts_.satTimeoutSeconds);
+        });
+        for (SubgraphPlan &plan : plans) {
+            rec.solveStats.push_back(plan.mw.stats);
+            if (plan.mw.found) {
+                rec.solveWeights.push_back(plan.mw.weight);
+                rec.minLogicalWeight =
+                    std::min(rec.minLogicalWeight, plan.mw.weight);
+            }
+        }
+
+        // Candidate enumeration (cheap, serial for RNG determinism).
+        for (SubgraphPlan &plan : plans) {
+            if (!plan.mw.found || plan.mw.weight == 0) {
+                continue;
+            }
+            plan.candidates = enumerateChanges(
+                current, plan.bw->dem, plan.bw->circ, plan.mw.errors, rng);
+            rec.candidatesEnumerated += plan.candidates.size();
+        }
+
+        // Verification (expensive: DEM rebuild per candidate) in parallel.
+        struct VerifyTask
+        {
+            SubgraphPlan *plan;
+            const CircuitChange *change;
+        };
+        std::vector<VerifyTask> tasks;
+        for (SubgraphPlan &plan : plans) {
+            for (const CircuitChange &ch : plan.candidates) {
+                tasks.push_back({&plan, &ch});
+            }
+        }
+        std::mutex verify_mu;
+        parallelFor(tasks.size(), threads, [&](std::size_t i) {
+            std::optional<VerifiedChange> vc;
+            if (opts_.verifyAmbiguityRemoval) {
+                vc = verifyChange(current, *tasks[i].change,
+                                  tasks[i].plan->sg->detectors,
+                                  tasks[i].plan->mw.errors,
+                                  tasks[i].plan->bw->dem, rounds,
+                                  tasks[i].plan->bw->basis, noise);
+            } else {
+                // Ablated pruning: only circuit validity is checked.
+                circuit::SmSchedule cand = tasks[i].change->apply(current);
+                if (cand.commutationValid()) {
+                    auto ts = cand.computeTimesteps();
+                    if (ts) {
+                        vc = VerifiedChange{*tasks[i].change,
+                                            std::move(cand), ts->depth};
+                    }
+                }
+            }
+            if (vc) {
+                std::lock_guard<std::mutex> lock(verify_mu);
+                tasks[i].plan->verified.push_back(std::move(*vc));
+            }
+        });
+
+        // Apply: one change per subgraph, minimum depth first.
+        std::set<std::string> applied_keys;
+        for (SubgraphPlan &plan : plans) {
+            if (plan.verified.empty()) {
+                continue;
+            }
+            rec.changesVerified += plan.verified.size();
+            if (opts_.preferMinDepth) {
+                std::sort(plan.verified.begin(), plan.verified.end(),
+                          [](const VerifiedChange &a,
+                             const VerifiedChange &b) {
+                              return a.depth < b.depth;
+                          });
+            }
+            for (const VerifiedChange &vc : plan.verified) {
+                if (opts_.maxDepth != 0 && vc.depth > opts_.maxDepth) {
+                    continue; // depth budget exceeded
+                }
+                if (applied_keys.count(vc.change.key())) {
+                    break; // already applied for another subgraph
+                }
+                // Re-validate against the *current* schedule (a previously
+                // applied change may interact).
+                circuit::SmSchedule next = vc.change.apply(current);
+                if (!next.commutationValid() || !next.schedulable()) {
+                    continue;
+                }
+                current = std::move(next);
+                applied_keys.insert(vc.change.key());
+                ++rec.changesApplied;
+                break;
+            }
+        }
+
+        rec.depth = current.depth();
+        bool no_ambiguity = rec.ambiguousFound == 0;
+        bool no_progress = rec.changesApplied == 0;
+        result.history.push_back(std::move(rec));
+        result.snapshots.push_back(current);
+        if (no_ambiguity) {
+            break; // converged: no ambiguity found within the budget
+        }
+        if (no_progress) {
+            ++stalled;
+            if (stalled >= 3) {
+                break; // ambiguity persists but is unresolvable (d_eff = d)
+            }
+        } else {
+            stalled = 0;
+        }
+    }
+    return result;
+}
+
+std::size_t
+estimateEffectiveDistance(const circuit::SmSchedule &schedule,
+                          std::size_t rounds, double p, std::size_t samples,
+                          uint64_t seed)
+{
+    sim::NoiseModel noise = sim::NoiseModel::uniform(p);
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    std::size_t threads = workerCount(0);
+    for (auto basis : {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
+        circuit::SmCircuit circ =
+            circuit::buildMemoryCircuit(schedule, rounds, basis);
+        sim::Dem dem = sim::buildDem(circ, noise);
+        std::vector<Subgraph> sgs = sampleAmbiguous(
+            dem, samples / 2, 64, 16, threads,
+            seed ^ (basis == circuit::MemoryBasis::X ? 0x5555u : 0));
+        for (const Subgraph &sg : sgs) {
+            MinWeightResult mw = solveMinWeightLogical(dem, sg, 16, 10.0);
+            if (mw.found) {
+                best = std::min(best, mw.weight);
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace prophunt::core

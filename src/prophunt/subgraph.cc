@@ -1,0 +1,152 @@
+#include "prophunt/subgraph.h"
+
+#include <algorithm>
+
+namespace prophunt::core {
+
+SubgraphFinder::SubgraphFinder(const sim::Dem &dem)
+    : dem_(dem), detAdj_(dem.detectorToErrors())
+{
+}
+
+std::vector<uint32_t>
+interiorErrors(const sim::Dem &dem, const std::vector<uint32_t> &detectors)
+{
+    std::vector<uint8_t> in_set(dem.numDetectors, 0);
+    for (uint32_t d : detectors) {
+        in_set[d] = 1;
+    }
+    std::vector<uint32_t> errors;
+    for (std::size_t e = 0; e < dem.errors.size(); ++e) {
+        const auto &dets = dem.errors[e].detectors;
+        bool inside = true;
+        for (uint32_t d : dets) {
+            if (!in_set[d]) {
+                inside = false;
+                break;
+            }
+        }
+        if (inside) {
+            errors.push_back((uint32_t)e);
+        }
+    }
+    return errors;
+}
+
+bool
+hasAmbiguity(const sim::Dem &dem, const std::vector<uint32_t> &detectors,
+             const std::vector<uint32_t> &errors)
+{
+    // H': |S'| x |E'|; logical rows restricted to E'.
+    std::vector<int> det_local(dem.numDetectors, -1);
+    for (std::size_t i = 0; i < detectors.size(); ++i) {
+        det_local[detectors[i]] = (int)i;
+    }
+    gf2::Matrix h(detectors.size(), errors.size());
+    for (std::size_t c = 0; c < errors.size(); ++c) {
+        for (uint32_t d : dem.errors[errors[c]].detectors) {
+            h.set((std::size_t)det_local[d], c, true);
+        }
+    }
+    for (std::size_t obs = 0; obs < dem.numObservables; ++obs) {
+        gf2::BitVec row(errors.size());
+        for (std::size_t c = 0; c < errors.size(); ++c) {
+            for (uint32_t o : dem.errors[errors[c]].observables) {
+                if (o == obs) {
+                    row.flip(c);
+                }
+            }
+        }
+        if (row.isZero()) {
+            continue;
+        }
+        if (!h.rowSpaceContains(row)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+Subgraph
+SubgraphFinder::sample(sim::Rng &rng, std::size_t max_errors) const
+{
+    Subgraph sg;
+    if (dem_.errors.empty()) {
+        return sg;
+    }
+    std::vector<uint8_t> det_in(dem_.numDetectors, 0);
+    std::vector<uint8_t> err_seen(dem_.errors.size(), 0);
+    // Count of in-subgraph detectors per candidate error.
+    std::vector<uint32_t> touch(dem_.errors.size(), 0);
+    std::vector<uint32_t> frontier; // errors adjacent to S', not interior
+
+    auto add_detector = [&](uint32_t d) {
+        if (det_in[d]) {
+            return;
+        }
+        det_in[d] = 1;
+        sg.detectors.push_back(d);
+        for (uint32_t e : detAdj_[d]) {
+            if (!err_seen[e]) {
+                err_seen[e] = 1;
+                frontier.push_back(e);
+            }
+            ++touch[e];
+        }
+    };
+
+    auto absorb = [&](uint32_t e) {
+        // Add error e and its detectors to the subgraph.
+        for (uint32_t d : dem_.errors[e].detectors) {
+            add_detector(d);
+        }
+    };
+
+    auto collect_interior = [&]() {
+        sg.errors.clear();
+        // An error is interior when every one of its detectors is inside.
+        for (std::size_t e = 0; e < dem_.errors.size(); ++e) {
+            if (err_seen[e] &&
+                touch[e] == dem_.errors[e].detectors.size()) {
+                sg.errors.push_back((uint32_t)e);
+            }
+        }
+    };
+
+    // Random seed error node.
+    uint32_t seed_err = (uint32_t)rng.below(dem_.errors.size());
+    // Avoid starting on a detector-less mechanism.
+    for (std::size_t tries = 0;
+         dem_.errors[seed_err].detectors.empty() && tries < 32; ++tries) {
+        seed_err = (uint32_t)rng.below(dem_.errors.size());
+    }
+    absorb(seed_err);
+    collect_interior();
+    if (hasAmbiguity(dem_, sg.detectors, sg.errors)) {
+        sg.ambiguous = true;
+        return sg;
+    }
+
+    while (sg.errors.size() < max_errors) {
+        // Pick a random frontier error (adjacent to S' but not interior).
+        std::vector<uint32_t> candidates;
+        for (uint32_t e : frontier) {
+            if (touch[e] < dem_.errors[e].detectors.size()) {
+                candidates.push_back(e);
+            }
+        }
+        if (candidates.empty()) {
+            break; // disconnected component exhausted
+        }
+        uint32_t pick = candidates[rng.below(candidates.size())];
+        absorb(pick);
+        collect_interior();
+        if (hasAmbiguity(dem_, sg.detectors, sg.errors)) {
+            sg.ambiguous = true;
+            return sg;
+        }
+    }
+    return sg;
+}
+
+} // namespace prophunt::core

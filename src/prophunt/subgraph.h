@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ambiguous decoding-subgraph finding (paper Section 5.1).
+ *
+ * The circuit-level decoding graph is bipartite: syndrome (detector) nodes
+ * vs error nodes. Starting from a random error node, the subgraph expands
+ * one adjacent error node at a time (staying connected), automatically
+ * absorbing error nodes whose entire detector support is inside. After each
+ * step the submatrices H' and L' are checked: if some logical row is NOT in
+ * the row space of H', the subgraph contains ambiguous errors and expansion
+ * halts.
+ */
+#ifndef PROPHUNT_PROPHUNT_SUBGRAPH_H
+#define PROPHUNT_PROPHUNT_SUBGRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gf2/matrix.h"
+#include "sim/dem.h"
+#include "sim/rng.h"
+
+namespace prophunt::core {
+
+/** A connected decoding subgraph. */
+struct Subgraph
+{
+    /** Detector (syndrome) nodes S'. */
+    std::vector<uint32_t> detectors;
+    /** Interior error nodes E': errors with all detectors inside S'. */
+    std::vector<uint32_t> errors;
+    /** True iff some logical row escapes rowspace(H'). */
+    bool ambiguous = false;
+};
+
+/** Reusable sampler of ambiguous subgraphs over one DEM. */
+class SubgraphFinder
+{
+  public:
+    explicit SubgraphFinder(const sim::Dem &dem);
+
+    /**
+     * Sample one subgraph.
+     *
+     * @param rng Randomness source.
+     * @param max_errors Expansion budget; sampling returns a non-ambiguous
+     * subgraph once exceeded.
+     */
+    Subgraph sample(sim::Rng &rng, std::size_t max_errors) const;
+
+    const sim::Dem &dem() const { return dem_; }
+
+  private:
+    const sim::Dem &dem_;
+    std::vector<std::vector<uint32_t>> detAdj_;
+};
+
+/**
+ * Interior errors of a detector set: errors whose entire detector support
+ * lies inside @p detectors (paper Section 4.1's sub-matrix definition).
+ */
+std::vector<uint32_t> interiorErrors(const sim::Dem &dem,
+                                     const std::vector<uint32_t> &detectors);
+
+/**
+ * Ambiguity check: true iff some logical row, restricted to the error
+ * columns, is NOT in the row space of the restricted check matrix.
+ */
+bool hasAmbiguity(const sim::Dem &dem,
+                  const std::vector<uint32_t> &detectors,
+                  const std::vector<uint32_t> &errors);
+
+} // namespace prophunt::core
+
+#endif // PROPHUNT_PROPHUNT_SUBGRAPH_H

@@ -1,0 +1,44 @@
+#include "sat/cardinality.h"
+
+#include <algorithm>
+
+namespace prophunt::sat {
+
+std::vector<Lit>
+encodeCounter(Solver &solver, const std::vector<Lit> &inputs,
+              std::size_t max_count)
+{
+    std::size_t n = inputs.size();
+    std::size_t k = std::min(max_count, n);
+    if (k == 0 || n == 0) {
+        return {};
+    }
+    // s[j] after processing prefix i: count(prefix) >= j+1.
+    std::vector<Lit> prev(k);
+    for (std::size_t j = 0; j < k; ++j) {
+        prev[j] = mkLit(solver.newVar());
+    }
+    // Prefix of size 1.
+    solver.addClause({negate(inputs[0]), prev[0]});
+    for (std::size_t i = 1; i < n; ++i) {
+        std::vector<Lit> cur(k);
+        for (std::size_t j = 0; j < k; ++j) {
+            cur[j] = mkLit(solver.newVar());
+        }
+        // Count carries over: s_{i-1,j} -> s_{i,j}.
+        for (std::size_t j = 0; j < k; ++j) {
+            solver.addClause({negate(prev[j]), cur[j]});
+        }
+        // This input increments: x_i -> s_{i,0}.
+        solver.addClause({negate(inputs[i]), cur[0]});
+        // x_i and s_{i-1,j-1} -> s_{i,j}.
+        for (std::size_t j = 1; j < k; ++j) {
+            solver.addClause(
+                {negate(inputs[i]), negate(prev[j - 1]), cur[j]});
+        }
+        prev = std::move(cur);
+    }
+    return prev;
+}
+
+} // namespace prophunt::sat

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Sequential-counter cardinality encoding.
+ *
+ * Encodes the unary count of a set of literals: output j is implied true
+ * whenever at least j+1 inputs are true. Bounding the count to <= k is then
+ * a single assumption (NOT output_k), which lets the MaxSAT linear search
+ * reuse one incremental solver across all bounds.
+ */
+#ifndef PROPHUNT_SAT_CARDINALITY_H
+#define PROPHUNT_SAT_CARDINALITY_H
+
+#include <vector>
+
+#include "sat/solver.h"
+
+namespace prophunt::sat {
+
+/**
+ * Encode a sequential counter over @p inputs counting up to @p max_count.
+ *
+ * @return Output literals o_0 .. o_{max_count-1}; o_j true if the number of
+ * true inputs is at least j+1 (one-sided: only the >= direction is
+ * enforced, which suffices for at-most-k bounds via assumptions).
+ */
+std::vector<Lit> encodeCounter(Solver &solver,
+                               const std::vector<Lit> &inputs,
+                               std::size_t max_count);
+
+} // namespace prophunt::sat
+
+#endif // PROPHUNT_SAT_CARDINALITY_H

@@ -1,0 +1,399 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace prophunt::sat {
+
+namespace {
+
+/** Luby restart sequence (Minisat's formulation). */
+uint64_t
+luby(uint64_t i)
+{
+    // Find the finite subsequence containing index i and its position.
+    uint64_t size = 1, seq = 0;
+    while (size < i + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) / 2;
+        --seq;
+        i = i % size;
+    }
+    return uint64_t{1} << seq;
+}
+
+} // namespace
+
+Solver::Solver() = default;
+
+Var
+Solver::newVar()
+{
+    Var v = numVars_++;
+    assigns_.push_back(0);
+    level_.push_back(0);
+    reason_.push_back(kNoReason);
+    activity_.push_back(0.0);
+    phase_.push_back(-1);
+    seen_.push_back(0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    return v;
+}
+
+int
+Solver::litValue(Lit l) const
+{
+    int8_t a = assigns_[varOf(l)];
+    if (a == 0) {
+        return 0;
+    }
+    return isNegated(l) ? -a : a;
+}
+
+bool
+Solver::addClause(std::vector<Lit> lits)
+{
+    if (unsat_) {
+        return false;
+    }
+    // Normalize: drop duplicate/false literals, detect tautology and
+    // satisfied clauses (all additions happen at level 0).
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    for (std::size_t i = 0; i < lits.size(); ++i) {
+        if (i > 0 && lits[i] == lits[i - 1]) {
+            continue;
+        }
+        if (i + 1 < lits.size() && lits[i + 1] == negate(lits[i])) {
+            return true; // tautology
+        }
+        int v = litValue(lits[i]);
+        if (v == 1) {
+            return true; // already satisfied at level 0
+        }
+        if (v == -1) {
+            continue; // falsified at level 0: drop
+        }
+        out.push_back(lits[i]);
+    }
+    ++numClauses_;
+    if (out.empty()) {
+        unsat_ = true;
+        return false;
+    }
+    if (out.size() == 1) {
+        assign(out[0], kNoReason);
+        if (propagate() != kNoReason) {
+            unsat_ = true;
+            return false;
+        }
+        return true;
+    }
+    Cref cref = (Cref)arena_.size();
+    arena_.push_back((int32_t)out.size());
+    for (Lit l : out) {
+        arena_.push_back(l);
+    }
+    clauses_.push_back(cref);
+    watches_[out[0]].push_back(cref);
+    watches_[out[1]].push_back(cref);
+    return true;
+}
+
+void
+Solver::assign(Lit l, Cref reason)
+{
+    Var v = varOf(l);
+    assigns_[v] = isNegated(l) ? -1 : 1;
+    level_[v] = (int32_t)trailLim_.size();
+    reason_[v] = reason;
+    phase_[v] = assigns_[v];
+    trail_.push_back(l);
+}
+
+Solver::Cref
+Solver::propagate()
+{
+    while (qhead_ < trail_.size()) {
+        Lit p = trail_[qhead_++];
+        Lit np = negate(p);
+        // Clauses watching np must be repaired.
+        std::vector<Cref> &ws = watches_[np];
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            Cref c = ws[i];
+            int32_t size = arena_[c];
+            int32_t *lits = &arena_[c + 1];
+            // Ensure the false literal is at slot 1.
+            if (lits[0] == np) {
+                std::swap(lits[0], lits[1]);
+            }
+            if (litValue(lits[0]) == 1) {
+                ws[keep++] = c; // satisfied by the other watch
+                continue;
+            }
+            // Find a replacement watch.
+            bool moved = false;
+            for (int32_t k = 2; k < size; ++k) {
+                if (litValue(lits[k]) != -1) {
+                    std::swap(lits[1], lits[k]);
+                    watches_[lits[1]].push_back(c);
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved) {
+                continue; // watch moved away
+            }
+            ws[keep++] = c;
+            if (litValue(lits[0]) == -1) {
+                // Conflict: restore remaining watches and bail.
+                for (std::size_t j = i + 1; j < ws.size(); ++j) {
+                    ws[keep++] = ws[j];
+                }
+                ws.resize(keep);
+                qhead_ = trail_.size();
+                return c;
+            }
+            assign(lits[0], c);
+        }
+        ws.resize(keep);
+    }
+    return kNoReason;
+}
+
+void
+Solver::bumpVar(Var v)
+{
+    activity_[v] += varInc_;
+    if (activity_[v] > 1e100) {
+        for (double &a : activity_) {
+            a *= 1e-100;
+        }
+        varInc_ *= 1e-100;
+    }
+}
+
+void
+Solver::decayActivities()
+{
+    varInc_ /= 0.95;
+}
+
+void
+Solver::analyze(Cref conflict, std::vector<Lit> &learned, int &bt_level)
+{
+    learned.clear();
+    learned.push_back(0); // placeholder for the asserting literal
+    int counter = 0;
+    Lit p = -1;
+    Cref reason = conflict;
+    std::size_t index = trail_.size();
+    int current_level = (int)trailLim_.size();
+
+    do {
+        int32_t size = arena_[reason];
+        int32_t *lits = &arena_[reason + 1];
+        for (int32_t k = 0; k < size; ++k) {
+            Lit q = lits[k];
+            // Skip the literal being resolved on (the reason clause holds
+            // the assigned literal; p is its negation).
+            if (p != -1 && varOf(q) == varOf(p)) {
+                continue;
+            }
+            Var v = varOf(q);
+            if (!seen_[v] && level_[v] > 0) {
+                seen_[v] = 1;
+                bumpVar(v);
+                if (level_[v] >= current_level) {
+                    ++counter;
+                } else {
+                    learned.push_back(q);
+                }
+            }
+        }
+        // Next literal to resolve on: most recent seen var on the trail.
+        while (!seen_[varOf(trail_[index - 1])]) {
+            --index;
+        }
+        --index;
+        p = negate(trail_[index]);
+        Var pv = varOf(p);
+        seen_[pv] = 0;
+        --counter;
+        reason = reason_[pv];
+    } while (counter > 0);
+    learned[0] = p;
+
+    // Backtrack level: second-highest level in the learned clause.
+    bt_level = 0;
+    for (std::size_t i = 1; i < learned.size(); ++i) {
+        bt_level = std::max(bt_level, (int)level_[varOf(learned[i])]);
+    }
+    for (Lit l : learned) {
+        seen_[varOf(l)] = 0;
+    }
+}
+
+void
+Solver::backtrack(int target)
+{
+    if ((int)trailLim_.size() <= target) {
+        return;
+    }
+    std::size_t lim = trailLim_[target];
+    for (std::size_t i = trail_.size(); i-- > lim;) {
+        Var v = varOf(trail_[i]);
+        assigns_[v] = 0;
+        reason_[v] = kNoReason;
+    }
+    trail_.resize(lim);
+    trailLim_.resize(target);
+    qhead_ = lim;
+}
+
+Var
+Solver::pickBranchVar()
+{
+    Var best = -1;
+    double best_act = -1.0;
+    for (Var v = 0; v < numVars_; ++v) {
+        if (assigns_[v] == 0 && activity_[v] > best_act) {
+            best_act = activity_[v];
+            best = v;
+        }
+    }
+    return best;
+}
+
+bool
+Solver::enqueueAssumptions(const std::vector<Lit> &assumptions)
+{
+    for (Lit a : assumptions) {
+        int v = litValue(a);
+        if (v == -1) {
+            return false;
+        }
+        if (v == 0) {
+            trailLim_.push_back(trail_.size());
+            assign(a, kNoReason);
+            if (propagate() != kNoReason) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+SolveResult
+Solver::solve(const std::vector<Lit> &assumptions, double timeout_seconds)
+{
+    if (unsat_) {
+        return SolveResult::Unsat;
+    }
+    auto start = std::chrono::steady_clock::now();
+    auto expired = [&]() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count() > timeout_seconds;
+    };
+
+    backtrack(0);
+    // Re-propagate the level-0 trail from scratch: a previous Unsat exit
+    // may have abandoned the propagation queue mid-way.
+    qhead_ = 0;
+    if (propagate() != kNoReason) {
+        unsat_ = true;
+        return SolveResult::Unsat;
+    }
+    if (!enqueueAssumptions(assumptions)) {
+        backtrack(0);
+        return SolveResult::Unsat;
+    }
+    int assumption_levels = (int)trailLim_.size();
+
+    uint64_t restart_count = 0;
+    uint64_t conflict_budget = 256 * luby(restart_count);
+    uint64_t conflicts_this_restart = 0;
+    std::vector<Lit> learned;
+
+    while (true) {
+        Cref conflict = propagate();
+        if (conflict != kNoReason) {
+            ++conflicts_;
+            ++conflicts_this_restart;
+            if ((int)trailLim_.size() <= assumption_levels) {
+                if (trailLim_.empty()) {
+                    unsat_ = true; // conflict with no decisions: formula UNSAT
+                }
+                backtrack(0);
+                return SolveResult::Unsat;
+            }
+            int bt;
+            analyze(conflict, learned, bt);
+            bt = std::max(bt, assumption_levels);
+            backtrack(bt);
+            if (learned.size() == 1 && bt == 0) {
+                assign(learned[0], kNoReason);
+            } else {
+                Cref cref = (Cref)arena_.size();
+                arena_.push_back((int32_t)learned.size());
+                for (Lit l : learned) {
+                    arena_.push_back(l);
+                }
+                clauses_.push_back(cref);
+                if (learned.size() >= 2) {
+                    // Watch the asserting literal and a highest-level one.
+                    std::size_t wi = 1;
+                    for (std::size_t i = 2; i < learned.size(); ++i) {
+                        if (level_[varOf(learned[i])] >
+                            level_[varOf(learned[wi])]) {
+                            wi = i;
+                        }
+                    }
+                    std::swap(arena_[cref + 2], arena_[cref + 1 + wi]);
+                    watches_[arena_[cref + 1]].push_back(cref);
+                    watches_[arena_[cref + 2]].push_back(cref);
+                    assign(learned[0], cref);
+                } else {
+                    assign(learned[0], cref);
+                }
+            }
+            decayActivities();
+            if (conflicts_this_restart >= conflict_budget) {
+                if (expired()) {
+                    backtrack(0);
+                    return SolveResult::Unknown;
+                }
+                ++restart_count;
+                conflict_budget = 256 * luby(restart_count);
+                conflicts_this_restart = 0;
+                backtrack(assumption_levels);
+            }
+        } else {
+            if ((conflicts_ & 1023) == 0 && expired()) {
+                backtrack(0);
+                return SolveResult::Unknown;
+            }
+            Var next = pickBranchVar();
+            if (next == -1) {
+                // Model found.
+                model_.assign((std::size_t)numVars_, false);
+                for (Var v = 0; v < numVars_; ++v) {
+                    model_[v] = assigns_[v] == 1;
+                }
+                backtrack(0);
+                return SolveResult::Sat;
+            }
+            trailLim_.push_back(trail_.size());
+            assign(mkLit(next, phase_[next] != 1), kNoReason);
+        }
+    }
+}
+
+} // namespace prophunt::sat

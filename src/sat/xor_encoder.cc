@@ -1,0 +1,44 @@
+#include "sat/xor_encoder.h"
+
+namespace prophunt::sat {
+
+Lit
+encodeXorGate(Solver &solver, Lit a, Lit b)
+{
+    Lit c = mkLit(solver.newVar());
+    solver.addClause({negate(a), negate(b), negate(c)});
+    solver.addClause({a, b, negate(c)});
+    solver.addClause({a, negate(b), c});
+    solver.addClause({negate(a), b, c});
+    return c;
+}
+
+Lit
+encodeXorTree(Solver &solver, std::vector<Lit> inputs)
+{
+    if (inputs.empty()) {
+        return constantFalse(solver);
+    }
+    // Repeatedly pair adjacent literals; each level halves the count.
+    while (inputs.size() > 1) {
+        std::vector<Lit> next;
+        for (std::size_t i = 0; i + 1 < inputs.size(); i += 2) {
+            next.push_back(encodeXorGate(solver, inputs[i], inputs[i + 1]));
+        }
+        if (inputs.size() % 2 == 1) {
+            next.push_back(inputs.back());
+        }
+        inputs = std::move(next);
+    }
+    return inputs[0];
+}
+
+Lit
+constantFalse(Solver &solver)
+{
+    Lit l = mkLit(solver.newVar());
+    solver.addClause({negate(l)});
+    return l;
+}
+
+} // namespace prophunt::sat

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * XOR-to-CNF encoding via Tseitin transformation.
+ *
+ * Naively expanding a multivariate XOR clause into CNF is exponential in the
+ * number of inputs (paper Section 5.2). Instead we introduce auxiliary
+ * variables in a balanced binary tree of 2-input XOR gates, each costing
+ * four clauses, exactly as PropHunt's MaxSAT formulation prescribes.
+ */
+#ifndef PROPHUNT_SAT_XOR_ENCODER_H
+#define PROPHUNT_SAT_XOR_ENCODER_H
+
+#include <vector>
+
+#include "sat/solver.h"
+
+namespace prophunt::sat {
+
+/**
+ * Encode c = a XOR b with a fresh output variable; returns the output
+ * literal. Adds the four Tseitin clauses.
+ */
+Lit encodeXorGate(Solver &solver, Lit a, Lit b);
+
+/**
+ * Encode the XOR of @p inputs as a balanced tree of 2-input gates.
+ *
+ * Returns a literal equivalent to the parity of the inputs. For a single
+ * input, the input itself is returned; for an empty list a constant-false
+ * literal is created.
+ */
+Lit encodeXorTree(Solver &solver, std::vector<Lit> inputs);
+
+/** A fresh literal constrained to be false (unit clause). */
+Lit constantFalse(Solver &solver);
+
+} // namespace prophunt::sat
+
+#endif // PROPHUNT_SAT_XOR_ENCODER_H

@@ -1,0 +1,41 @@
+#include "sim/dem.h"
+
+namespace prophunt::sim {
+
+gf2::Matrix
+Dem::checkMatrix() const
+{
+    gf2::Matrix h(numDetectors, errors.size());
+    for (std::size_t e = 0; e < errors.size(); ++e) {
+        for (uint32_t d : errors[e].detectors) {
+            h.set(d, e, true);
+        }
+    }
+    return h;
+}
+
+gf2::Matrix
+Dem::logicalMatrix() const
+{
+    gf2::Matrix l(numObservables, errors.size());
+    for (std::size_t e = 0; e < errors.size(); ++e) {
+        for (uint32_t o : errors[e].observables) {
+            l.set(o, e, true);
+        }
+    }
+    return l;
+}
+
+std::vector<std::vector<uint32_t>>
+Dem::detectorToErrors() const
+{
+    std::vector<std::vector<uint32_t>> adj(numDetectors);
+    for (std::size_t e = 0; e < errors.size(); ++e) {
+        for (uint32_t d : errors[e].detectors) {
+            adj[d].push_back((uint32_t)e);
+        }
+    }
+    return adj;
+}
+
+} // namespace prophunt::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Circuit-level detector error models (DEMs).
+ *
+ * A DEM is the circuit-level counterpart of the code's check and logical
+ * matrices (paper Section 2.7): each independent error mechanism maps to
+ * the set of detectors and logical observables it flips. Mechanisms retain
+ * provenance — the gate fault locations that produced them — so PropHunt
+ * can map a circuit-level error back to candidate schedule changes.
+ */
+#ifndef PROPHUNT_SIM_DEM_H
+#define PROPHUNT_SIM_DEM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/sm_circuit.h"
+#include "gf2/matrix.h"
+
+namespace prophunt::sim {
+
+/** Pauli labels for fault components. */
+enum class Pauli : uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+/** A single physical fault location in the circuit. */
+struct FaultLoc
+{
+    /** Index of the faulted instruction. */
+    std::size_t instr = 0;
+    /** Pauli applied to the first (or only) qubit of the instruction. */
+    Pauli p0 = Pauli::I;
+    /** Pauli applied to the second qubit (CNOT faults only). */
+    Pauli p1 = Pauli::I;
+    /** True iff this is a CNOT fault with valid schedule provenance. */
+    bool isCnot = false;
+    /** Schedule provenance (valid iff isCnot). */
+    circuit::CnotInfo cnot;
+};
+
+/** An independent error mechanism of the DEM. */
+struct ErrorMechanism
+{
+    double p = 0.0;
+    /** Flipped detectors, sorted ascending. */
+    std::vector<uint32_t> detectors;
+    /** Flipped logical observables, sorted ascending. */
+    std::vector<uint32_t> observables;
+    /** Fault locations merged into this mechanism. */
+    std::vector<FaultLoc> sources;
+};
+
+/** A complete detector error model. */
+struct Dem
+{
+    std::size_t numDetectors = 0;
+    std::size_t numObservables = 0;
+    std::vector<ErrorMechanism> errors;
+
+    /** Circuit-level check matrix H: detectors x errors. */
+    gf2::Matrix checkMatrix() const;
+
+    /** Circuit-level logical matrix L: observables x errors. */
+    gf2::Matrix logicalMatrix() const;
+
+    /** Adjacency: for each detector, the mechanisms touching it. */
+    std::vector<std::vector<uint32_t>> detectorToErrors() const;
+};
+
+} // namespace prophunt::sim
+
+#endif // PROPHUNT_SIM_DEM_H

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * DEM extraction: deterministic Pauli-fault propagation through a circuit.
+ *
+ * Every possible fault location is propagated through the remainder of the
+ * circuit using the CNOT rules of the paper's Figure 3b to determine which
+ * measurements (and hence detectors and observables) it flips. Faults with
+ * identical detector/observable signatures are merged with the usual
+ * independent-XOR probability combination p = p_a + p_b - 2 p_a p_b.
+ *
+ * The propagation is batched: instead of walking the circuit once per
+ * fault, we sweep the circuit once, carrying per-qubit bit planes indexed
+ * by fault (X plane and Z plane). A CNOT is then two word-wise XORs per
+ * plane word, making DEM extraction effectively linear in circuit size.
+ */
+#ifndef PROPHUNT_SIM_DEM_BUILDER_H
+#define PROPHUNT_SIM_DEM_BUILDER_H
+
+#include "circuit/sm_circuit.h"
+#include "sim/dem.h"
+#include "sim/noise_model.h"
+
+namespace prophunt::sim {
+
+/** Extract the detector error model of @p circuit under @p noise. */
+Dem buildDem(const circuit::SmCircuit &circuit, const NoiseModel &noise);
+
+} // namespace prophunt::sim
+
+#endif // PROPHUNT_SIM_DEM_BUILDER_H

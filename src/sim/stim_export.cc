@@ -1,0 +1,94 @@
+#include "sim/stim_export.h"
+
+#include <sstream>
+
+namespace prophunt::sim {
+
+std::string
+toStimCircuit(const circuit::SmCircuit &circuit, const NoiseModel &noise)
+{
+    std::ostringstream out;
+    out << "# exported by prophunt (memory-"
+        << (circuit.basis == circuit::MemoryBasis::Z ? "Z" : "X") << ", "
+        << circuit.rounds << " rounds)\n";
+
+    for (const auto &ins : circuit.instructions) {
+        switch (ins.op) {
+        case circuit::OpType::ResetZ:
+            out << "R " << ins.qubits[0] << "\n";
+            if (noise.p1 > 0) {
+                out << "DEPOLARIZE1(" << noise.p1 << ") " << ins.qubits[0]
+                    << "\n";
+            }
+            break;
+        case circuit::OpType::ResetX:
+            out << "RX " << ins.qubits[0] << "\n";
+            if (noise.p1 > 0) {
+                out << "DEPOLARIZE1(" << noise.p1 << ") " << ins.qubits[0]
+                    << "\n";
+            }
+            break;
+        case circuit::OpType::Cnot:
+            out << "CX " << ins.qubits[0] << " " << ins.qubits[1] << "\n";
+            if (noise.p2 > 0) {
+                out << "DEPOLARIZE2(" << noise.p2 << ") " << ins.qubits[0]
+                    << " " << ins.qubits[1] << "\n";
+            }
+            break;
+        case circuit::OpType::MeasureZ:
+            if (noise.p1 > 0) {
+                out << "DEPOLARIZE1(" << noise.p1 << ") " << ins.qubits[0]
+                    << "\n";
+            }
+            out << "M " << ins.qubits[0] << "\n";
+            break;
+        case circuit::OpType::MeasureX:
+            if (noise.p1 > 0) {
+                out << "DEPOLARIZE1(" << noise.p1 << ") " << ins.qubits[0]
+                    << "\n";
+            }
+            out << "MX " << ins.qubits[0] << "\n";
+            break;
+        case circuit::OpType::Tick:
+            out << "TICK\n";
+            break;
+        }
+    }
+
+    // Detector and observable definitions via relative record lookback.
+    std::size_t total = circuit.numMeasurements;
+    for (const auto &det : circuit.detectors) {
+        out << "DETECTOR";
+        for (std::size_t m : det) {
+            out << " rec[-" << (total - m) << "]";
+        }
+        out << "\n";
+    }
+    for (std::size_t o = 0; o < circuit.observables.size(); ++o) {
+        out << "OBSERVABLE_INCLUDE(" << o << ")";
+        for (std::size_t m : circuit.observables[o]) {
+            out << " rec[-" << (total - m) << "]";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+toStimDem(const Dem &dem)
+{
+    std::ostringstream out;
+    for (const auto &mech : dem.errors) {
+        out << "error(" << mech.p << ")";
+        for (uint32_t d : mech.detectors) {
+            out << " D" << d;
+        }
+        for (uint32_t o : mech.observables) {
+            out << " L" << o;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace prophunt::sim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Interop: export circuits and detector error models in Stim's text
+ * formats.
+ *
+ * Downstream users can round-trip this library's SM circuits through the
+ * reference toolchain the paper used — Stim for DEM extraction and
+ * sampling, PyMatching / BP-LSD for decoding — to cross-check our
+ * substrate substitutions independently. The exported circuit uses R/RX,
+ * CX, M/MX, TICK, DETECTOR and OBSERVABLE_INCLUDE instructions; the DEM
+ * uses `error(p) D.. L..` lines.
+ */
+#ifndef PROPHUNT_SIM_STIM_EXPORT_H
+#define PROPHUNT_SIM_STIM_EXPORT_H
+
+#include <string>
+
+#include "circuit/sm_circuit.h"
+#include "sim/dem.h"
+#include "sim/noise_model.h"
+
+namespace prophunt::sim {
+
+/**
+ * Render the circuit as a Stim circuit string.
+ *
+ * @param circuit The memory experiment to export.
+ * @param noise If nonzero, DEPOLARIZE1/DEPOLARIZE2 and X_ERROR/Z_ERROR
+ * annotations matching the paper's noise model are woven in so Stim
+ * reproduces the same detector error model.
+ */
+std::string toStimCircuit(const circuit::SmCircuit &circuit,
+                          const NoiseModel &noise = {});
+
+/** Render the DEM as a Stim detector-error-model string. */
+std::string toStimDem(const Dem &dem);
+
+} // namespace prophunt::sim
+
+#endif // PROPHUNT_SIM_STIM_EXPORT_H

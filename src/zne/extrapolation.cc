@@ -1,0 +1,94 @@
+#include "zne/extrapolation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prophunt::zne {
+
+double
+extrapolateLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size() || xs.empty()) {
+        throw std::invalid_argument("extrapolateLinear: bad input");
+    }
+    double n = (double)xs.size();
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    double denom = n * sxx - sx * sx;
+    if (std::fabs(denom) < 1e-30) {
+        return sy / n;
+    }
+    double slope = (n * sxy - sx * sy) / denom;
+    double intercept = (sy - slope * sx) / n;
+    return intercept;
+}
+
+double
+extrapolateExponential(const std::vector<double> &xs,
+                       const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size() || xs.empty()) {
+        throw std::invalid_argument("extrapolateExponential: bad input");
+    }
+    for (double y : ys) {
+        if (y <= 0) {
+            return extrapolateLinear(xs, ys);
+        }
+    }
+    // Log-linear least squares (the mitiq-style exponential ansatz),
+    // lightly variance-weighted: with additive shot noise sigma on y the
+    // noise on log(y) is ~ sigma/y, so deeply decayed points are
+    // down-weighted, with a floor so every point stays informative.
+    double y_max = 0;
+    for (double y : ys) {
+        y_max = std::max(y_max, y);
+    }
+    double w_floor = 0.3 * y_max;
+    double sw = 0, swx = 0, swy = 0, swxx = 0, swxy = 0;
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+        double wy = std::max(ys[i], w_floor);
+        double w = wy * wy;
+        double ly = std::log(ys[i]);
+        sw += w;
+        swx += w * xs[i];
+        swy += w * ly;
+        swxx += w * xs[i] * xs[i];
+        swxy += w * xs[i] * ly;
+    }
+    double denom = sw * swxx - swx * swx;
+    if (std::fabs(denom) < 1e-30) {
+        return std::exp(swy / sw);
+    }
+    double slope = (sw * swxy - swx * swy) / denom;
+    double intercept = (swy - slope * swx) / sw;
+    return std::exp(intercept);
+}
+
+double
+extrapolateRichardson(const std::vector<double> &xs,
+                      const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size() || xs.empty()) {
+        throw std::invalid_argument("extrapolateRichardson: bad input");
+    }
+    // Lagrange interpolation evaluated at 0.
+    double total = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double term = ys[i];
+        for (std::size_t j = 0; j < xs.size(); ++j) {
+            if (j != i) {
+                term *= (0.0 - xs[j]) / (xs[i] - xs[j]);
+            }
+        }
+        total += term;
+    }
+    return total;
+}
+
+} // namespace prophunt::zne

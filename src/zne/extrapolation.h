@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Zero-noise extrapolation fits.
+ *
+ * ZNE runs a circuit at amplified noise levels lambda >= 1 and fits the
+ * expectation value E(lambda) back to the zero-noise limit lambda = 0. The
+ * exponential ansatz matches the depolarizing decay of logical RB circuits;
+ * Richardson (polynomial through all points) and linear fits are provided
+ * for comparison and as fallbacks when expectations cross zero.
+ */
+#ifndef PROPHUNT_ZNE_EXTRAPOLATION_H
+#define PROPHUNT_ZNE_EXTRAPOLATION_H
+
+#include <vector>
+
+namespace prophunt::zne {
+
+/** Least-squares fit of E = a * exp(b * x), evaluated at x = 0.
+ * Falls back to linear extrapolation if any y <= 0. */
+double extrapolateExponential(const std::vector<double> &xs,
+                              const std::vector<double> &ys);
+
+/** Richardson extrapolation: the degree-(n-1) interpolant at x = 0. */
+double extrapolateRichardson(const std::vector<double> &xs,
+                             const std::vector<double> &ys);
+
+/** Ordinary least-squares line, evaluated at x = 0. */
+double extrapolateLinear(const std::vector<double> &xs,
+                         const std::vector<double> &ys);
+
+} // namespace prophunt::zne
+
+#endif // PROPHUNT_ZNE_EXTRAPOLATION_H

@@ -1,0 +1,84 @@
+#include "zne/zne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "zne/extrapolation.h"
+
+namespace prophunt::zne {
+
+double
+logicalErrorRate(double lambda_suppression, double distance)
+{
+    return std::pow(lambda_suppression, -(distance + 1.0) / 2.0);
+}
+
+double
+rbExpectation(double eps, std::size_t depth)
+{
+    // Standard RB convention: eps is the per-layer depolarizing parameter
+    // and the polarization (expectation of the target observable) decays
+    // by (1 - eps) per layer.
+    return std::pow(1.0 - eps, (double)depth);
+}
+
+double
+sampleRbExpectation(double eps, std::size_t depth, std::size_t shots,
+                    sim::Rng &rng)
+{
+    double e = rbExpectation(eps, depth);
+    double p_plus = (1.0 + e) / 2.0;
+    std::size_t plus = 0;
+    for (std::size_t s = 0; s < shots; ++s) {
+        if (rng.uniform() < p_plus) {
+            ++plus;
+        }
+    }
+    return 2.0 * (double)plus / (double)shots - 1.0;
+}
+
+double
+zneEstimate(const std::vector<double> &distances, const ZneConfig &config,
+            sim::Rng &rng)
+{
+    double d_max = *std::max_element(distances.begin(), distances.end());
+    double eps_base = logicalErrorRate(config.lambdaSuppression, d_max);
+    std::size_t shots_each =
+        std::max<std::size_t>(1, config.totalShots / distances.size());
+
+    std::vector<double> lambdas, estimates;
+    for (double d : distances) {
+        double eps = logicalErrorRate(config.lambdaSuppression, d);
+        lambdas.push_back(eps / eps_base);
+        estimates.push_back(
+            sampleRbExpectation(eps, config.depth, shots_each, rng));
+    }
+    return extrapolateExponential(lambdas, estimates);
+}
+
+double
+zneBias(const std::vector<double> &distances, const ZneConfig &config,
+        std::size_t trials, uint64_t seed)
+{
+    double total = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        sim::Rng rng(seed + t * 0x9e3779b97f4a7c15ULL);
+        double est = zneEstimate(distances, config, rng);
+        total += std::fabs(est - 1.0);
+    }
+    return total / (double)trials;
+}
+
+std::vector<double>
+dsZneDistances(double d_max)
+{
+    return {d_max, d_max - 2.0, d_max - 4.0, d_max - 6.0};
+}
+
+std::vector<double>
+hookZneDistances(double d_max)
+{
+    return {d_max, d_max - 0.5, d_max - 1.0, d_max - 1.5};
+}
+
+} // namespace prophunt::zne

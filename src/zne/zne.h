@@ -1,0 +1,72 @@
+/**
+ * @file
+ * QEC-ZNE estimators: Distance-Scaling ZNE vs Hook-ZNE (paper Section 7).
+ *
+ * The logical error rate at (possibly fractional) distance d under
+ * suppression factor Lambda is P_L(d) = Lambda^{-(d+1)/2}. DS-ZNE can only
+ * realize odd integer d, giving coarse noise-scale ladders; Hook-ZNE uses
+ * the suboptimal intermediate SM circuits from PropHunt's optimization to
+ * realize finely spaced effective distances at fixed code distance. Both
+ * estimators run a logical randomized-benchmarking model (survival
+ * expectation E = (1-2*eps)^depth with binomial shot noise) and
+ * extrapolate to the zero-noise limit; bias is the L1 distance to the
+ * ideal expectation of 1.
+ */
+#ifndef PROPHUNT_ZNE_ZNE_H
+#define PROPHUNT_ZNE_ZNE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace prophunt::zne {
+
+/** P_L(d) = Lambda^{-(d+1)/2}, the paper's suppression model. */
+double logicalErrorRate(double lambda_suppression, double distance);
+
+/**
+ * Noiseless survival expectation of the logical RB model after @p depth
+ * layers with per-layer logical error rate @p eps: (1 - eps)^depth
+ * (the depolarizing-parameter convention of randomized benchmarking).
+ */
+double rbExpectation(double eps, std::size_t depth);
+
+/** Shot-noise estimator of the RB expectation from @p shots samples. */
+double sampleRbExpectation(double eps, std::size_t depth, std::size_t shots,
+                           sim::Rng &rng);
+
+/** One ZNE experiment configuration. */
+struct ZneConfig
+{
+    /** Error-suppression factor Lambda (e.g. 2.14 for Google's data). */
+    double lambdaSuppression = 2.0;
+    /** Two-qubit-depth of the benchmarked logical circuit. */
+    std::size_t depth = 50;
+    /** Total shot budget across all noise levels. */
+    std::size_t totalShots = 20000;
+};
+
+/**
+ * Run one ZNE estimate over the given effective distances.
+ *
+ * Each distance d_i realizes noise scale lambda_i = P_L(d_i)/P_L(d_max);
+ * the extrapolated expectation at lambda = 0 is returned.
+ */
+double zneEstimate(const std::vector<double> &distances,
+                   const ZneConfig &config, sim::Rng &rng);
+
+/** Average |estimate - ideal| over repeated trials. */
+double zneBias(const std::vector<double> &distances, const ZneConfig &config,
+               std::size_t trials, uint64_t seed);
+
+/** DS-ZNE ladder: {d, d-2, d-4, d-6} (odd integer distances). */
+std::vector<double> dsZneDistances(double d_max);
+
+/** Hook-ZNE ladder: {d, d-0.5, d-1, d-1.5} (fractional distances realized
+ * by intermediate SM circuits). */
+std::vector<double> hookZneDistances(double d_max);
+
+} // namespace prophunt::zne
+
+#endif // PROPHUNT_ZNE_ZNE_H

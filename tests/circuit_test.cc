@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for SM schedules, validity checks, the coloration baseline, the
+ * hand-designed surface schedules, and memory-circuit construction.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "circuit/coloration.h"
+#include "circuit/schedule.h"
+#include "circuit/sm_circuit.h"
+#include "circuit/surface_schedules.h"
+#include "code/codes.h"
+#include "code/surface.h"
+
+using namespace prophunt;
+using namespace prophunt::circuit;
+
+namespace {
+
+std::shared_ptr<const code::CssCode>
+surfacePtr(std::size_t d)
+{
+    return std::make_shared<const code::CssCode>(
+        code::SurfaceCode(d).code());
+}
+
+} // namespace
+
+TEST(SmSchedule, FromTimestepsRoundTrip)
+{
+    auto cp = surfacePtr(3);
+    SmSchedule s = colorationSchedule(cp);
+    auto ts = s.computeTimesteps();
+    ASSERT_TRUE(ts.has_value());
+    SmSchedule rebuilt = [&]() {
+        std::vector<std::vector<std::pair<std::size_t, std::size_t>>> v(
+            cp->numChecks());
+        for (std::size_t c = 0; c < cp->numChecks(); ++c) {
+            for (std::size_t k = 0; k < s.checkOrder(c).size(); ++k) {
+                v[c].push_back({s.checkOrder(c)[k], ts->t[c][k]});
+            }
+        }
+        return SmSchedule::fromTimesteps(cp, v);
+    }();
+    EXPECT_EQ(rebuilt, s);
+}
+
+TEST(SmSchedule, TimestepCollisionThrows)
+{
+    auto cp = surfacePtr(3);
+    // Two checks touching qubit 4 at the same timestep.
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> ts(
+        cp->numChecks());
+    for (std::size_t c = 0; c < cp->numChecks(); ++c) {
+        std::size_t t = 0;
+        for (std::size_t q : cp->checkSupport(c)) {
+            ts[c].push_back({q, t++});
+        }
+    }
+    // Qubit 4 participates in several checks, all starting at t=0 only if
+    // it is first in multiple supports; force a collision explicitly.
+    bool forced = false;
+    for (std::size_t c = 0; c < cp->numChecks() && !forced; ++c) {
+        for (auto &[q, t] : ts[c]) {
+            if (q == 4 && t != 0) {
+                t = 0;
+                forced = true;
+            }
+        }
+    }
+    ASSERT_TRUE(forced);
+    EXPECT_THROW(SmSchedule::fromTimesteps(cp, ts), std::invalid_argument);
+}
+
+TEST(SmSchedule, ReorderMovesQubit)
+{
+    auto cp = surfacePtr(3);
+    SmSchedule s = colorationSchedule(cp);
+    // Pick a weight-4 check.
+    std::size_t check = 0;
+    for (std::size_t c = 0; c < cp->numChecks(); ++c) {
+        if (s.checkOrder(c).size() == 4) {
+            check = c;
+            break;
+        }
+    }
+    auto before = s.checkOrder(check);
+    SmSchedule t = s.withReorder(check, 3, 1);
+    auto after = t.checkOrder(check);
+    EXPECT_EQ(after[1], before[3]);
+    EXPECT_EQ(after[0], before[0]);
+    // Multiset of qubits preserved.
+    std::multiset<std::size_t> a(before.begin(), before.end());
+    std::multiset<std::size_t> b(after.begin(), after.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(SmSchedule, RelativeSwapTogglesOrder)
+{
+    auto cp = surfacePtr(3);
+    SmSchedule s = colorationSchedule(cp);
+    // Find a qubit with at least two checks.
+    for (std::size_t q = 0; q < cp->n(); ++q) {
+        if (s.qubitOrder(q).size() >= 2) {
+            std::size_t a = s.qubitOrder(q)[0], b = s.qubitOrder(q)[1];
+            SmSchedule t = s.withRelativeSwap(q, a, b);
+            EXPECT_EQ(t.qubitOrder(q)[0], b);
+            EXPECT_EQ(t.qubitOrder(q)[1], a);
+            return;
+        }
+    }
+    FAIL() << "no shared qubit found";
+}
+
+TEST(SmSchedule, CycleDetection)
+{
+    // Two checks sharing two qubits with opposite relative orders create a
+    // cycle only when combined with within-check ordering; construct one
+    // directly: check A does (q0, q1), check B does (q1, q0), with
+    // per-qubit orders q0: A before B, q1: B before A. Then
+    // A(q1) < B(q1) is violated... build and expect unschedulable or
+    // schedulable but consistent — assert computeTimesteps handles both.
+    gf2::Matrix hz = gf2::Matrix::fromRows({{1, 1}, {1, 1}});
+    gf2::Matrix hx(0, 2);
+    auto cp = std::make_shared<const code::CssCode>(
+        code::CssCode(hx, hz, "two-checks"));
+    // Orders: check0: q0 then q1. check1: q1 then q0.
+    // Qubit orders: q0: check0 then check1; q1: check1 then check0.
+    // Precedence: c0q0 < c0q1 (check0), c1q1 < c1q0 (check1),
+    // c0q0 < c1q0 (qubit0), c1q1 < c0q1 (qubit1). Acyclic.
+    SmSchedule ok(cp, {{0, 1}, {1, 0}}, {{0, 1}, {1, 0}});
+    EXPECT_TRUE(ok.schedulable());
+    // Qubit orders: q0: check0 first; q1: check0 first. Then
+    // c1q1 < c1q0 (check1), c0q1 < c1q1 (qubit1), c0q0 < c0q1 (check0),
+    // c1q0 after c0q0 — still acyclic. Flip check1's order to (q0, q1):
+    // c1q0 < c1q1 with q0: c1 first, q1: c0 first =>
+    // c1q0 < c0q0 < c0q1 < c1q1 OK; now q1 order c1 first instead:
+    // c1q1 < c0q1, and c0q0 < c0q1, c1q0 < c1q1, q0: c0 first:
+    // c0q0 < c1q0 < c1q1 < c0q1 — consistent. A genuine cycle:
+    // check0: q0 then q1; check1: q0 then q1;
+    // qubit0: check0 first; qubit1: check1 first.
+    // c0q0 < c1q0 (q0), c1q0 < c1q1 (c1), c1q1 < c0q1 (q1),
+    // c0q0 < c0q1 (c0) — acyclic again! With two checks a cycle needs
+    // opposite qubit orders AND aligned check orders:
+    // qubit0: check1 first; qubit1: check0 first; both checks q0 then q1:
+    // c1q0 < c0q0 (q0), c0q0 < c0q1 (c0), c0q1 < c1q1 (q1),
+    // c1q0 < c1q1 (c1) — acyclic. Three constraints can't close a loop
+    // here; use three checks on a triangle of qubits instead.
+    gf2::Matrix hz3 =
+        gf2::Matrix::fromRows({{1, 1, 0}, {0, 1, 1}, {1, 0, 1}});
+    auto cp3 = std::make_shared<const code::CssCode>(
+        code::CssCode(gf2::Matrix(0, 3), hz3, "triangle"));
+    // check0 on {q0,q1}: q0 then q1; check1 on {q1,q2}: q1 then q2;
+    // check2 on {q0,q2}: q2 then q0.
+    // qubit orders: q0: c0 before c2? For a cycle:
+    // c0q1 < c1q1 (q1: c0 first), c1q2 < c2q2 (q2: c1 first),
+    // c2q0 < c0q0 (q0: c2 first); with internal orders
+    // c0q0 < c0q1, c1q1 < c1q2, c2q2 < c2q0:
+    // c0q0 < c0q1 < c1q1 < c1q2 < c2q2 < c2q0 < c0q0 — cycle!
+    SmSchedule cyc(cp3, {{0, 1}, {1, 2}, {2, 0}},
+                   {{2, 0}, {0, 1}, {1, 2}});
+    EXPECT_FALSE(cyc.schedulable());
+    EXPECT_THROW((void)cyc.depth(), std::logic_error);
+}
+
+TEST(SurfaceSchedules, NzIsDepth4AndValid)
+{
+    for (std::size_t d : {3, 5, 7}) {
+        code::SurfaceCode s(d);
+        SmSchedule nz = nzSchedule(s);
+        EXPECT_EQ(nz.depth(), 4u) << "d=" << d;
+        EXPECT_TRUE(nz.commutationValid()) << "d=" << d;
+        SmSchedule poor = poorSurfaceSchedule(s);
+        EXPECT_EQ(poor.depth(), 4u) << "d=" << d;
+        EXPECT_TRUE(poor.commutationValid()) << "d=" << d;
+        EXPECT_FALSE(nz == poor);
+    }
+}
+
+class ColorationAllCodes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ColorationAllCodes, ValidForEveryBenchmarkCode)
+{
+    auto codes = code::allBenchmarkCodes();
+    auto cp =
+        std::make_shared<const code::CssCode>(codes[GetParam()]);
+    SmSchedule s = colorationSchedule(cp);
+    EXPECT_TRUE(s.commutationValid()) << cp->name();
+    EXPECT_TRUE(s.schedulable()) << cp->name();
+    // Every CNOT present exactly once.
+    std::size_t cnots = 0;
+    for (std::size_t c = 0; c < cp->numChecks(); ++c) {
+        EXPECT_EQ(s.checkOrder(c).size(), cp->checkSupport(c).size());
+        cnots += s.checkOrder(c).size();
+    }
+    std::size_t by_qubit = 0;
+    for (std::size_t q = 0; q < cp->n(); ++q) {
+        by_qubit += s.qubitOrder(q).size();
+    }
+    EXPECT_EQ(cnots, by_qubit);
+}
+
+TEST_P(ColorationAllCodes, RandomVariantsValidAndDistinct)
+{
+    auto codes = code::allBenchmarkCodes();
+    auto cp =
+        std::make_shared<const code::CssCode>(codes[GetParam()]);
+    SmSchedule a = randomColorationSchedule(cp, 1);
+    SmSchedule b = randomColorationSchedule(cp, 2);
+    EXPECT_TRUE(a.commutationValid());
+    EXPECT_TRUE(b.commutationValid());
+    EXPECT_TRUE(a.schedulable());
+    EXPECT_FALSE(a == b); // different seeds give different circuits
+    // Same seed is deterministic.
+    EXPECT_TRUE(a == randomColorationSchedule(cp, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, ColorationAllCodes,
+                         ::testing::Range<std::size_t>(0, 8));
+
+TEST(SmCircuit, MemoryZStructure)
+{
+    auto cp = surfacePtr(3);
+    SmSchedule s = colorationSchedule(cp);
+    std::size_t rounds = 3;
+    SmCircuit c = buildMemoryCircuit(s, rounds, MemoryBasis::Z);
+    std::size_t m = cp->numChecks();
+    EXPECT_EQ(c.numMeasurements, rounds * m + cp->n());
+    // Detectors: round 0 Z checks + (rounds-1)*all + final Z checks.
+    std::size_t mz = cp->numZChecks();
+    EXPECT_EQ(c.detectors.size(), mz + (rounds - 1) * m + mz);
+    EXPECT_EQ(c.observables.size(), cp->k());
+    EXPECT_EQ(c.countCnots(), rounds * 24u); // 24 CNOTs per round for d=3
+    EXPECT_EQ(c.rounds, rounds);
+}
+
+TEST(SmCircuit, MemoryXMirror)
+{
+    auto cp = surfacePtr(3);
+    SmSchedule s = colorationSchedule(cp);
+    SmCircuit c = buildMemoryCircuit(s, 2, MemoryBasis::X);
+    std::size_t mx = cp->numXChecks();
+    std::size_t m = cp->numChecks();
+    EXPECT_EQ(c.detectors.size(), mx + m + mx);
+    // Observables read the X logical support.
+    EXPECT_EQ(c.observables.size(), 1u);
+    EXPECT_EQ(c.observables[0].size(),
+              cp->lx().row(0).popcount());
+}
+
+TEST(SmCircuit, DetectorSourcesAreScheduleIndependent)
+{
+    auto cp = surfacePtr(3);
+    SmSchedule a = colorationSchedule(cp);
+    SmSchedule b = randomColorationSchedule(cp, 77);
+    SmCircuit ca = buildMemoryCircuit(a, 3, MemoryBasis::Z);
+    SmCircuit cb = buildMemoryCircuit(b, 3, MemoryBasis::Z);
+    ASSERT_EQ(ca.detectorSource.size(), cb.detectorSource.size());
+    EXPECT_EQ(ca.detectorSource, cb.detectorSource);
+}
+
+TEST(SmCircuit, UnschedulableThrows)
+{
+    gf2::Matrix hz3 =
+        gf2::Matrix::fromRows({{1, 1, 0}, {0, 1, 1}, {1, 0, 1}});
+    auto cp3 = std::make_shared<const code::CssCode>(
+        code::CssCode(gf2::Matrix(0, 3), hz3, "triangle"));
+    SmSchedule cyc(cp3, {{0, 1}, {1, 2}, {2, 0}},
+                   {{2, 0}, {0, 1}, {1, 2}});
+    EXPECT_THROW(buildMemoryCircuit(cyc, 2, MemoryBasis::Z),
+                 std::invalid_argument);
+}

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit and property tests for the GF(2) linear-algebra substrate.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gf2/bitvec.h"
+#include "gf2/matrix.h"
+
+using namespace prophunt::gf2;
+
+namespace {
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, std::mt19937_64 &rng,
+             double density = 0.4)
+{
+    Matrix m(rows, cols);
+    std::bernoulli_distribution bit(density);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (bit(rng)) {
+                m.set(r, c, true);
+            }
+        }
+    }
+    return m;
+}
+
+} // namespace
+
+TEST(BitVec, SetGetFlip)
+{
+    BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_TRUE(v.isZero());
+    v.set(0, true);
+    v.set(64, true);
+    v.set(129, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(129));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.popcount(), 3u);
+    v.flip(64);
+    EXPECT_FALSE(v.get(64));
+    EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVec, XorAndDot)
+{
+    BitVec a = BitVec::fromBits({1, 0, 1, 1, 0});
+    BitVec b = BitVec::fromBits({1, 1, 0, 1, 0});
+    BitVec c = a ^ b;
+    EXPECT_EQ(c, BitVec::fromBits({0, 1, 1, 0, 0}));
+    // dot = parity of AND = parity of overlap {0,3} = 0.
+    EXPECT_FALSE(a.dot(b));
+    BitVec d = BitVec::fromBits({1, 0, 0, 0, 0});
+    EXPECT_TRUE(a.dot(d));
+}
+
+TEST(BitVec, SupportAndFirstSet)
+{
+    BitVec v = BitVec::fromSupport(200, {3, 77, 199});
+    EXPECT_EQ(v.support(), (std::vector<std::size_t>{3, 77, 199}));
+    EXPECT_EQ(v.firstSet(), 3u);
+    BitVec z(10);
+    EXPECT_EQ(z.firstSet(), 10u);
+}
+
+TEST(BitVec, SizeMismatchThrows)
+{
+    BitVec a(5), b(6);
+    EXPECT_THROW(a ^= b, std::invalid_argument);
+    EXPECT_THROW((void)a.dot(b), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityRank)
+{
+    Matrix id = Matrix::identity(17);
+    EXPECT_EQ(id.rank(), 17u);
+    EXPECT_EQ(id.mul(id), id);
+}
+
+TEST(Matrix, KnownRank)
+{
+    // Row 3 = row 0 + row 1.
+    Matrix m = Matrix::fromRows({{1, 0, 1, 0},
+                                 {0, 1, 1, 0},
+                                 {0, 0, 0, 1},
+                                 {1, 1, 0, 0}});
+    EXPECT_EQ(m.rank(), 3u);
+}
+
+TEST(Matrix, RowSpaceContains)
+{
+    Matrix m = Matrix::fromRows({{1, 1, 0}, {0, 1, 1}});
+    EXPECT_TRUE(m.rowSpaceContains(BitVec::fromBits({1, 0, 1})));
+    EXPECT_TRUE(m.rowSpaceContains(BitVec::fromBits({0, 0, 0})));
+    EXPECT_FALSE(m.rowSpaceContains(BitVec::fromBits({1, 0, 0})));
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    std::mt19937_64 rng(1);
+    Matrix m = randomMatrix(7, 13, rng);
+    EXPECT_EQ(m.transpose().transpose(), m);
+}
+
+TEST(Matrix, SolveConsistent)
+{
+    Matrix a = Matrix::fromRows({{1, 1, 0}, {0, 1, 1}});
+    BitVec b = BitVec::fromBits({1, 1});
+    auto x = a.solve(b);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_EQ(a.mulVec(*x), b);
+}
+
+TEST(Matrix, SolveInconsistent)
+{
+    // Rows are equal; RHS differs.
+    Matrix a = Matrix::fromRows({{1, 1, 0}, {1, 1, 0}});
+    BitVec b = BitVec::fromBits({1, 0});
+    EXPECT_FALSE(a.solve(b).has_value());
+}
+
+TEST(Matrix, StackOperations)
+{
+    Matrix a = Matrix::fromRows({{1, 0}, {0, 1}});
+    Matrix b = Matrix::fromRows({{1, 1}});
+    Matrix v = a.vstack(b);
+    EXPECT_EQ(v.rows(), 3u);
+    EXPECT_TRUE(v.get(2, 0));
+    Matrix h = a.hstack(Matrix::fromRows({{1}, {0}}));
+    EXPECT_EQ(h.cols(), 3u);
+    EXPECT_TRUE(h.get(0, 2));
+    EXPECT_FALSE(h.get(1, 2));
+}
+
+TEST(Matrix, SelectRowsCols)
+{
+    Matrix m = Matrix::fromRows({{1, 0, 1}, {0, 1, 0}, {1, 1, 1}});
+    Matrix r = m.selectRows({2, 0});
+    EXPECT_EQ(r.rows(), 2u);
+    EXPECT_TRUE(r.get(0, 1));
+    Matrix c = m.selectCols({2, 1});
+    EXPECT_EQ(c.cols(), 2u);
+    EXPECT_TRUE(c.get(0, 0));
+    EXPECT_FALSE(c.get(0, 1));
+}
+
+/** Property sweep over random matrices of varying shapes. */
+class MatrixProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MatrixProperty, RankEqualsTransposeRank)
+{
+    std::mt19937_64 rng(GetParam());
+    std::size_t rows = 1 + rng() % 20, cols = 1 + rng() % 20;
+    Matrix m = randomMatrix(rows, cols, rng);
+    EXPECT_EQ(m.rank(), m.transpose().rank());
+}
+
+TEST_P(MatrixProperty, KernelVectorsAnnihilate)
+{
+    std::mt19937_64 rng(GetParam() * 31 + 7);
+    std::size_t rows = 1 + rng() % 15, cols = 1 + rng() % 20;
+    Matrix m = randomMatrix(rows, cols, rng);
+    auto basis = m.kernelBasis();
+    EXPECT_EQ(basis.size(), cols - m.rank());
+    for (const auto &v : basis) {
+        EXPECT_TRUE(m.mulVec(v).isZero());
+    }
+    // Basis vectors are independent.
+    Matrix k(0, cols);
+    for (const auto &v : basis) {
+        k.appendRow(v);
+    }
+    if (k.rows() > 0) {
+        EXPECT_EQ(k.rank(), basis.size());
+    }
+}
+
+TEST_P(MatrixProperty, SolveRoundTrip)
+{
+    std::mt19937_64 rng(GetParam() * 97 + 3);
+    std::size_t rows = 1 + rng() % 15, cols = 1 + rng() % 15;
+    Matrix m = randomMatrix(rows, cols, rng);
+    // Build a consistent RHS from a random x.
+    BitVec x(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        if (rng() & 1) {
+            x.set(c, true);
+        }
+    }
+    BitVec b = m.mulVec(x);
+    auto sol = m.solve(b);
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(m.mulVec(*sol), b);
+}
+
+TEST_P(MatrixProperty, RowSpaceMembershipMatchesRank)
+{
+    std::mt19937_64 rng(GetParam() * 131 + 11);
+    std::size_t rows = 1 + rng() % 12, cols = 1 + rng() % 16;
+    Matrix m = randomMatrix(rows, cols, rng);
+    BitVec v(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        if (rng() & 1) {
+            v.set(c, true);
+        }
+    }
+    Matrix aug = m;
+    aug.appendRow(v);
+    bool member = m.rowSpaceContains(v);
+    EXPECT_EQ(member, aug.rank() == m.rank());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, MatrixProperty,
+                         ::testing::Range(0, 25));

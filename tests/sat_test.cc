@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the CDCL SAT solver, XOR encoding, cardinality counter, and
+ * MaxSAT — including a randomized cross-check against brute force.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sat/cardinality.h"
+#include "sat/maxsat.h"
+#include "sat/solver.h"
+#include "sat/xor_encoder.h"
+
+using namespace prophunt::sat;
+
+namespace {
+
+bool
+bruteForceSat(int n, const std::vector<std::vector<Lit>> &clauses)
+{
+    for (int m = 0; m < (1 << n); ++m) {
+        bool ok = true;
+        for (const auto &c : clauses) {
+            bool sat = false;
+            for (Lit l : c) {
+                bool v = (m >> varOf(l)) & 1;
+                if (isNegated(l) ? !v : v) {
+                    sat = true;
+                    break;
+                }
+            }
+            if (!sat) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(Solver, TrivialSat)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar();
+    s.addClause({mkLit(a), mkLit(b)});
+    s.addClause({mkLit(a, true)});
+    EXPECT_EQ(s.solve({}, 10.0), SolveResult::Sat);
+    EXPECT_FALSE(s.modelValue(a));
+    EXPECT_TRUE(s.modelValue(b));
+}
+
+TEST(Solver, TrivialUnsat)
+{
+    Solver s;
+    Var a = s.newVar();
+    s.addClause({mkLit(a)});
+    EXPECT_FALSE(s.addClause({mkLit(a, true)}));
+    EXPECT_EQ(s.solve({}, 10.0), SolveResult::Unsat);
+}
+
+TEST(Solver, PigeonHole3Into2)
+{
+    // 3 pigeons, 2 holes: var p*2+h means pigeon p in hole h.
+    Solver s;
+    std::vector<std::vector<Var>> v(3, std::vector<Var>(2));
+    for (auto &row : v) {
+        for (auto &x : row) {
+            x = s.newVar();
+        }
+    }
+    for (int p = 0; p < 3; ++p) {
+        s.addClause({mkLit(v[p][0]), mkLit(v[p][1])});
+    }
+    for (int h = 0; h < 2; ++h) {
+        for (int p1 = 0; p1 < 3; ++p1) {
+            for (int p2 = p1 + 1; p2 < 3; ++p2) {
+                s.addClause({mkLit(v[p1][h], true), mkLit(v[p2][h], true)});
+            }
+        }
+    }
+    EXPECT_EQ(s.solve({}, 10.0), SolveResult::Unsat);
+}
+
+TEST(Solver, AssumptionsFlipSatisfiability)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar();
+    s.addClause({mkLit(a), mkLit(b)});
+    EXPECT_EQ(s.solve({mkLit(a, true)}, 10.0), SolveResult::Sat);
+    EXPECT_TRUE(s.modelValue(b));
+    EXPECT_EQ(s.solve({mkLit(a, true), mkLit(b, true)}, 10.0),
+              SolveResult::Unsat);
+    // Removing the assumptions restores satisfiability (incremental).
+    EXPECT_EQ(s.solve({}, 10.0), SolveResult::Sat);
+}
+
+class SolverFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SolverFuzz, MatchesBruteForce)
+{
+    std::mt19937_64 rng(GetParam() * 1000003 + 17);
+    for (int iter = 0; iter < 300; ++iter) {
+        int n = 3 + rng() % 8;
+        int m = 2 + rng() % 25;
+        Solver s;
+        for (int i = 0; i < n; ++i) {
+            s.newVar();
+        }
+        std::vector<std::vector<Lit>> clauses;
+        for (int c = 0; c < m; ++c) {
+            int len = 1 + rng() % 4;
+            std::vector<Lit> cl;
+            for (int k = 0; k < len; ++k) {
+                cl.push_back(mkLit((Var)(rng() % n), rng() & 1));
+            }
+            clauses.push_back(cl);
+            s.addClause(cl);
+        }
+        std::vector<Lit> assume;
+        for (std::size_t k = 0; k < rng() % 3; ++k) {
+            assume.push_back(mkLit((Var)(rng() % n), rng() & 1));
+        }
+        auto all = clauses;
+        for (Lit a : assume) {
+            all.push_back({a});
+        }
+        bool expect = bruteForceSat(n, all);
+        for (int round = 0; round < 2; ++round) {
+            SolveResult r = s.solve(assume, 10.0);
+            ASSERT_EQ(r == SolveResult::Sat, expect)
+                << "iter " << iter << " round " << round;
+            if (r == SolveResult::Sat) {
+                for (const auto &c : all) {
+                    bool sat = false;
+                    for (Lit l : c) {
+                        bool v = s.modelValue(varOf(l));
+                        if (isNegated(l) ? !v : v) {
+                            sat = true;
+                            break;
+                        }
+                    }
+                    ASSERT_TRUE(sat) << "model violates clause";
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz, ::testing::Range(0, 8));
+
+TEST(XorEncoder, GateTruthTable)
+{
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+            Solver s;
+            Var va = s.newVar(), vb = s.newVar();
+            Lit c = encodeXorGate(s, mkLit(va), mkLit(vb));
+            s.addClause({mkLit(va, a == 0)});
+            s.addClause({mkLit(vb, b == 0)});
+            ASSERT_EQ(s.solve({}, 10.0), SolveResult::Sat);
+            EXPECT_EQ(s.modelValue(varOf(c)) != isNegated(c),
+                      (a ^ b) == 1);
+        }
+    }
+}
+
+TEST(XorEncoder, TreeParity)
+{
+    std::mt19937_64 rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        int n = 1 + rng() % 9;
+        Solver s;
+        std::vector<Lit> inputs;
+        int parity = 0;
+        for (int i = 0; i < n; ++i) {
+            Var v = s.newVar();
+            inputs.push_back(mkLit(v));
+            bool val = rng() & 1;
+            parity ^= val;
+            s.addClause({mkLit(v, !val)});
+        }
+        Lit out = encodeXorTree(s, inputs);
+        ASSERT_EQ(s.solve({}, 10.0), SolveResult::Sat);
+        EXPECT_EQ(s.modelValue(varOf(out)) != isNegated(out), parity == 1);
+    }
+}
+
+TEST(XorEncoder, ConstantFalse)
+{
+    Solver s;
+    Lit f = constantFalse(s);
+    ASSERT_EQ(s.solve({}, 10.0), SolveResult::Sat);
+    EXPECT_FALSE(s.modelValue(varOf(f)) != isNegated(f));
+}
+
+TEST(Cardinality, AtMostKBounds)
+{
+    for (std::size_t k = 0; k < 5; ++k) {
+        Solver s;
+        std::vector<Lit> xs;
+        for (int i = 0; i < 6; ++i) {
+            xs.push_back(mkLit(s.newVar()));
+        }
+        auto outs = encodeCounter(s, xs, 6);
+        // Force exactly 4 inputs true.
+        for (int i = 0; i < 6; ++i) {
+            s.addClause({i < 4 ? xs[i] : negate(xs[i])});
+        }
+        std::vector<Lit> assume;
+        if (k < outs.size()) {
+            assume.push_back(negate(outs[k])); // count <= k
+        }
+        SolveResult r = s.solve(assume, 10.0);
+        EXPECT_EQ(r == SolveResult::Sat, k >= 4) << "k=" << k;
+    }
+}
+
+TEST(MaxSat, KnownOptimum)
+{
+    // Hard: a OR b. Softs: !a, !b. Optimum: violate exactly one.
+    MaxSatSolver m;
+    Var a = m.newVar(), b = m.newVar();
+    m.addHard({mkLit(a), mkLit(b)});
+    m.addSoft(mkLit(a, true));
+    m.addSoft(mkLit(b, true));
+    auto r = m.solve(2, 10.0);
+    ASSERT_TRUE(r.satisfiable);
+    EXPECT_EQ(r.optimum, 1u);
+}
+
+TEST(MaxSat, ZeroCostWhenConsistent)
+{
+    MaxSatSolver m;
+    Var a = m.newVar();
+    m.addHard({mkLit(a, true), mkLit(a, true)});
+    m.addSoft(mkLit(a, true));
+    auto r = m.solve(1, 10.0);
+    ASSERT_TRUE(r.satisfiable);
+    EXPECT_EQ(r.optimum, 0u);
+}
+
+TEST(MaxSat, HardConflictUnsat)
+{
+    MaxSatSolver m;
+    Var a = m.newVar();
+    m.addHard({mkLit(a)});
+    m.addHard({mkLit(a, true)});
+    m.addSoft(mkLit(a));
+    auto r = m.solve(1, 10.0);
+    EXPECT_FALSE(r.satisfiable);
+}
+
+TEST(MaxSat, StatsPopulated)
+{
+    MaxSatSolver m;
+    Var a = m.newVar(), b = m.newVar();
+    m.addHard({mkLit(a), mkLit(b)});
+    m.addSoft(mkLit(a, true));
+    m.addSoft(mkLit(b, true));
+    auto r = m.solve(2, 10.0);
+    EXPECT_EQ(r.stats.softClauses, 2u);
+    EXPECT_GE(r.stats.variables, 2u);
+    EXPECT_GE(r.stats.hardClauses, 1u);
+    EXPECT_FALSE(r.stats.timedOut);
+    EXPECT_GE(r.stats.wallSeconds, 0.0);
+}
+
+TEST(MaxSat, RandomOptimaMatchBruteForce)
+{
+    std::mt19937_64 rng(77);
+    for (int iter = 0; iter < 60; ++iter) {
+        int n = 3 + rng() % 5;
+        int m = 2 + rng() % 8;
+        MaxSatSolver ms;
+        for (int i = 0; i < n; ++i) {
+            ms.newVar();
+        }
+        std::vector<std::vector<Lit>> hard;
+        for (int c = 0; c < m; ++c) {
+            std::vector<Lit> cl;
+            int len = 2 + rng() % 3;
+            for (int k = 0; k < len; ++k) {
+                cl.push_back(mkLit((Var)(rng() % n), rng() & 1));
+            }
+            hard.push_back(cl);
+            ms.addHard(cl);
+        }
+        std::vector<Lit> softs;
+        for (int i = 0; i < n; ++i) {
+            softs.push_back(mkLit((Var)i, true)); // prefer all-false
+        }
+        for (Lit l : softs) {
+            ms.addSoft(l);
+        }
+        // Brute force optimum: min true-count over satisfying models.
+        int best = -1;
+        for (int model = 0; model < (1 << n); ++model) {
+            bool ok = true;
+            for (const auto &c : hard) {
+                bool sat = false;
+                for (Lit l : c) {
+                    bool v = (model >> varOf(l)) & 1;
+                    if (isNegated(l) ? !v : v) {
+                        sat = true;
+                        break;
+                    }
+                }
+                if (!sat) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                int cnt = __builtin_popcount((unsigned)model);
+                if (best < 0 || cnt < best) {
+                    best = cnt;
+                }
+            }
+        }
+        auto r = ms.solve(n, 10.0);
+        ASSERT_EQ(r.satisfiable, best >= 0) << "iter " << iter;
+        if (best >= 0) {
+            EXPECT_EQ((int)r.optimum, best) << "iter " << iter;
+        }
+    }
+}

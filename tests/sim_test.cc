@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the circuit-level model: fault propagation, DEM extraction,
+ * probability merging, and the DEM sampler.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "circuit/coloration.h"
+#include "circuit/surface_schedules.h"
+#include "code/surface.h"
+#include "sim/dem_builder.h"
+#include "sim/sampler.h"
+
+using namespace prophunt;
+using namespace prophunt::sim;
+
+namespace {
+
+circuit::SmCircuit
+d3Circuit(circuit::MemoryBasis basis, std::size_t rounds = 3)
+{
+    code::SurfaceCode s(3);
+    auto cp = std::make_shared<const code::CssCode>(s.code());
+    return circuit::buildMemoryCircuit(circuit::colorationSchedule(cp),
+                                       rounds, basis);
+}
+
+} // namespace
+
+TEST(DemBuilder, NoNoiseNoErrors)
+{
+    Dem dem = buildDem(d3Circuit(circuit::MemoryBasis::Z),
+                       NoiseModel{0, 0, 0});
+    EXPECT_TRUE(dem.errors.empty());
+}
+
+TEST(DemBuilder, EveryMechanismHasSourcesAndProbability)
+{
+    Dem dem = buildDem(d3Circuit(circuit::MemoryBasis::Z),
+                       NoiseModel::uniform(1e-3));
+    ASSERT_FALSE(dem.errors.empty());
+    for (const auto &mech : dem.errors) {
+        EXPECT_FALSE(mech.sources.empty());
+        EXPECT_GT(mech.p, 0.0);
+        EXPECT_LT(mech.p, 0.1);
+        // Detectors sorted and unique.
+        for (std::size_t i = 1; i < mech.detectors.size(); ++i) {
+            EXPECT_LT(mech.detectors[i - 1], mech.detectors[i]);
+        }
+    }
+}
+
+TEST(DemBuilder, NoUndetectedSingleFaults)
+{
+    // A valid SM circuit must detect every single fault that flips an
+    // observable: no mechanism with empty detectors and nonempty
+    // observables (that would be d_eff = 1).
+    for (auto basis : {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
+        Dem dem = buildDem(d3Circuit(basis), NoiseModel::uniform(1e-3));
+        for (const auto &mech : dem.errors) {
+            EXPECT_FALSE(mech.detectors.empty() &&
+                         !mech.observables.empty());
+        }
+    }
+}
+
+TEST(DemBuilder, HandCheckedSingleQubitCode)
+{
+    // One data qubit, one Z check of weight 1 is not a CSS code; use a
+    // two-qubit repetition code: Z checks {q0 q1}, memory-Z.
+    gf2::Matrix hz = gf2::Matrix::fromRows({{1, 1}});
+    auto cp = std::make_shared<const code::CssCode>(
+        code::CssCode(gf2::Matrix(0, 2), hz, "rep2"));
+    circuit::SmSchedule s(cp, {{0, 1}}, {{0}, {0}});
+    circuit::SmCircuit c =
+        circuit::buildMemoryCircuit(s, 2, circuit::MemoryBasis::Z);
+    // Only CNOT noise.
+    Dem dem = buildDem(c, NoiseModel{0.0, 1e-3, 0.0});
+    // Each mechanism must touch at most 2 rounds of the single check.
+    EXPECT_GT(dem.errors.size(), 0u);
+    for (const auto &mech : dem.errors) {
+        EXPECT_LE(mech.detectors.size(), 3u);
+    }
+    // An X fault on data qubit 0 after the first CNOT of round 0 flips the
+    // round-1 detector and the final reconstruction, plus the observable
+    // (qubit 0 is in the Z logical = {0} or {0,1}-ish). Check that at
+    // least one mechanism flips the observable and is detected.
+    bool seen_logical = false;
+    for (const auto &mech : dem.errors) {
+        if (!mech.observables.empty() && !mech.detectors.empty()) {
+            seen_logical = true;
+        }
+    }
+    EXPECT_TRUE(seen_logical);
+}
+
+TEST(DemBuilder, ProbabilityMergeFormula)
+{
+    // Two faults with identical signatures at p each combine to
+    // 2p(1-p); verify some mechanism has a merged probability.
+    Dem dem = buildDem(d3Circuit(circuit::MemoryBasis::Z),
+                       NoiseModel::uniform(3e-3));
+    double p1 = 3e-3 / 3.0, p2 = 3e-3 / 15.0;
+    (void)p1;
+    bool merged = false;
+    for (const auto &mech : dem.errors) {
+        if (mech.sources.size() >= 2) {
+            merged = true;
+            EXPECT_GT(mech.p, p2 * 1.5);
+        }
+    }
+    EXPECT_TRUE(merged);
+}
+
+TEST(DemBuilder, IdleNoiseAddsProbabilityMass)
+{
+    // Idle faults propagate like data/ancilla components of existing gate
+    // faults, so they merge into existing mechanisms rather than adding
+    // new ones; the total error probability mass must grow.
+    auto circ = d3Circuit(circuit::MemoryBasis::Z);
+    Dem base = buildDem(circ, NoiseModel::uniform(1e-3));
+    Dem idle = buildDem(circ, NoiseModel::withIdle(1e-3, 1e-4));
+    EXPECT_GE(idle.errors.size(), base.errors.size());
+    auto mass = [](const Dem &d) {
+        double total = 0;
+        for (const auto &m : d.errors) {
+            total += m.p;
+        }
+        return total;
+    };
+    EXPECT_GT(mass(idle), mass(base) * 1.01);
+}
+
+TEST(DemBuilder, DeterministicAcrossCalls)
+{
+    auto circ = d3Circuit(circuit::MemoryBasis::Z);
+    Dem a = buildDem(circ, NoiseModel::uniform(1e-3));
+    Dem b = buildDem(circ, NoiseModel::uniform(1e-3));
+    ASSERT_EQ(a.errors.size(), b.errors.size());
+    for (std::size_t e = 0; e < a.errors.size(); ++e) {
+        EXPECT_EQ(a.errors[e].detectors, b.errors[e].detectors);
+        EXPECT_DOUBLE_EQ(a.errors[e].p, b.errors[e].p);
+    }
+}
+
+TEST(DemBuilder, CheckMatrixShapes)
+{
+    Dem dem = buildDem(d3Circuit(circuit::MemoryBasis::Z),
+                       NoiseModel::uniform(1e-3));
+    auto h = dem.checkMatrix();
+    auto l = dem.logicalMatrix();
+    EXPECT_EQ(h.rows(), dem.numDetectors);
+    EXPECT_EQ(h.cols(), dem.errors.size());
+    EXPECT_EQ(l.rows(), dem.numObservables);
+    EXPECT_EQ(l.cols(), dem.errors.size());
+    // Circuit-level H is far wider than the code-level matrix (Sec. 2.7).
+    EXPECT_GT(h.cols(), 100u);
+}
+
+TEST(Sampler, EmptyDemGivesCleanShots)
+{
+    Dem dem;
+    dem.numDetectors = 10;
+    dem.numObservables = 1;
+    SampleBatch b = sampleDem(dem, 100, 1);
+    for (std::size_t s = 0; s < 100; ++s) {
+        EXPECT_TRUE(b.flippedDetectors(s).empty());
+        EXPECT_EQ(b.obsMask(s), 0u);
+    }
+}
+
+TEST(Sampler, SingleMechanismFrequency)
+{
+    Dem dem;
+    dem.numDetectors = 2;
+    dem.numObservables = 1;
+    ErrorMechanism m;
+    m.p = 0.25;
+    m.detectors = {0, 1};
+    m.observables = {0};
+    dem.errors.push_back(m);
+    std::size_t shots = 200000;
+    SampleBatch b = sampleDem(dem, shots, 42);
+    std::size_t fired = 0;
+    for (std::size_t s = 0; s < shots; ++s) {
+        bool d0 = b.detBit(s, 0);
+        EXPECT_EQ(d0, b.detBit(s, 1));
+        EXPECT_EQ(d0, b.obsMask(s) == 1);
+        fired += d0;
+    }
+    double rate = (double)fired / (double)shots;
+    EXPECT_NEAR(rate, 0.25, 0.01);
+}
+
+TEST(Sampler, XorOfTwoMechanisms)
+{
+    Dem dem;
+    dem.numDetectors = 1;
+    dem.numObservables = 1;
+    ErrorMechanism a, b;
+    a.p = 0.5;
+    a.detectors = {0};
+    b.p = 0.5;
+    b.detectors = {0};
+    b.observables = {0};
+    dem.errors = {a, b};
+    std::size_t shots = 100000;
+    SampleBatch batch = sampleDem(dem, shots, 7);
+    // Detector fires iff exactly one mechanism fired: probability 1/2.
+    std::size_t fired = 0;
+    for (std::size_t s = 0; s < shots; ++s) {
+        fired += batch.detBit(s, 0);
+    }
+    EXPECT_NEAR((double)fired / shots, 0.5, 0.02);
+}
+
+TEST(Sampler, DeterministicSeeding)
+{
+    Dem dem = buildDem(d3Circuit(circuit::MemoryBasis::Z),
+                       NoiseModel::uniform(1e-2));
+    SampleBatch a = sampleDem(dem, 500, 9);
+    SampleBatch b = sampleDem(dem, 500, 9);
+    SampleBatch c = sampleDem(dem, 500, 10);
+    EXPECT_EQ(a.det, b.det);
+    EXPECT_NE(a.det, c.det);
+}
+
+TEST(Sampler, MeanDetectorRateMatchesExpectation)
+{
+    Dem dem = buildDem(d3Circuit(circuit::MemoryBasis::Z),
+                       NoiseModel::uniform(5e-3));
+    // Expected flips per shot: sum over mechanisms of p * |detectors|
+    // (small-p approximation ignoring cancellation).
+    double expected = 0;
+    for (const auto &m : dem.errors) {
+        expected += m.p * m.detectors.size();
+    }
+    std::size_t shots = 20000;
+    SampleBatch batch = sampleDem(dem, shots, 11);
+    double total = 0;
+    for (std::size_t s = 0; s < shots; ++s) {
+        total += batch.flippedDetectors(s).size();
+    }
+    double mean = total / shots;
+    EXPECT_NEAR(mean, expected, expected * 0.1);
+}

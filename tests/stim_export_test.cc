@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the Stim-format exporters.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "circuit/coloration.h"
+#include "code/surface.h"
+#include "sim/dem_builder.h"
+#include "sim/stim_export.h"
+
+using namespace prophunt;
+using namespace prophunt::sim;
+
+namespace {
+
+std::size_t
+countLines(const std::string &s, const std::string &prefix)
+{
+    std::istringstream in(s);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(in, line)) {
+        if (line.rfind(prefix, 0) == 0) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace
+
+TEST(StimExport, CircuitInstructionCounts)
+{
+    code::SurfaceCode s(3);
+    auto cp = std::make_shared<const code::CssCode>(s.code());
+    auto circ = circuit::buildMemoryCircuit(
+        circuit::colorationSchedule(cp), 3, circuit::MemoryBasis::Z);
+    std::string text = toStimCircuit(circ);
+
+    EXPECT_EQ(countLines(text, "CX "), circ.countCnots());
+    EXPECT_EQ(countLines(text, "M ") + countLines(text, "MX "),
+              circ.numMeasurements);
+    EXPECT_EQ(countLines(text, "DETECTOR"), circ.detectors.size());
+    EXPECT_EQ(countLines(text, "OBSERVABLE_INCLUDE"),
+              circ.observables.size());
+    // No noise requested: no error annotations.
+    EXPECT_EQ(countLines(text, "DEPOLARIZE"), 0u);
+}
+
+TEST(StimExport, NoiseAnnotationsPlacedPerGate)
+{
+    code::SurfaceCode s(3);
+    auto cp = std::make_shared<const code::CssCode>(s.code());
+    auto circ = circuit::buildMemoryCircuit(
+        circuit::colorationSchedule(cp), 2, circuit::MemoryBasis::Z);
+    std::string text = toStimCircuit(circ, NoiseModel::uniform(1e-3));
+    // One DEPOLARIZE2 per CNOT; one DEPOLARIZE1 per reset/measurement.
+    EXPECT_EQ(countLines(text, "DEPOLARIZE2"), circ.countCnots());
+    std::size_t oneq = 0;
+    for (const auto &ins : circ.instructions) {
+        if (ins.op != circuit::OpType::Cnot &&
+            ins.op != circuit::OpType::Tick) {
+            ++oneq;
+        }
+    }
+    EXPECT_EQ(countLines(text, "DEPOLARIZE1"), oneq);
+}
+
+TEST(StimExport, RecordLookbacksInRange)
+{
+    code::SurfaceCode s(3);
+    auto cp = std::make_shared<const code::CssCode>(s.code());
+    auto circ = circuit::buildMemoryCircuit(
+        circuit::colorationSchedule(cp), 2, circuit::MemoryBasis::X);
+    std::string text = toStimCircuit(circ);
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::size_t pos = 0;
+        while ((pos = line.find("rec[-", pos)) != std::string::npos) {
+            std::size_t end = line.find(']', pos);
+            long k = std::stol(line.substr(pos + 5, end - pos - 5));
+            EXPECT_GE(k, 1);
+            EXPECT_LE(k, (long)circ.numMeasurements);
+            pos = end;
+        }
+    }
+}
+
+TEST(StimExport, DemLinesMatchMechanisms)
+{
+    code::SurfaceCode s(3);
+    auto cp = std::make_shared<const code::CssCode>(s.code());
+    auto circ = circuit::buildMemoryCircuit(
+        circuit::colorationSchedule(cp), 2, circuit::MemoryBasis::Z);
+    Dem dem = buildDem(circ, NoiseModel::uniform(1e-3));
+    std::string text = toStimDem(dem);
+    EXPECT_EQ(countLines(text, "error("), dem.errors.size());
+    // Every detector index printed must parse back below numDetectors.
+    std::istringstream in(text);
+    std::string tok;
+    while (in >> tok) {
+        if (tok[0] == 'D') {
+            EXPECT_LT((std::size_t)std::stoul(tok.substr(1)),
+                      dem.numDetectors);
+        }
+        if (tok[0] == 'L') {
+            EXPECT_LT((std::size_t)std::stoul(tok.substr(1)),
+                      dem.numObservables);
+        }
+    }
+}

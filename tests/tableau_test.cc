@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the stabilizer tableau simulator — and the exact
+ * cross-validation between the tableau simulator and the Pauli-frame DEM
+ * builder, the strongest correctness check in the suite: every single
+ * fault's detector/observable footprint must agree between the two
+ * completely independent implementations.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "circuit/coloration.h"
+#include "circuit/surface_schedules.h"
+#include "code/codes.h"
+#include "code/surface.h"
+#include "sim/dem_builder.h"
+#include "sim/tableau.h"
+
+using namespace prophunt;
+using namespace prophunt::sim;
+
+TEST(Tableau, BasicMeasurements)
+{
+    Rng rng(1);
+    Tableau t(2);
+    // |00>: deterministic Z measurements.
+    EXPECT_FALSE(t.measureZ(0, rng));
+    EXPECT_FALSE(t.measureZ(1, rng));
+    // X|0> = |1>.
+    t.applyX(0);
+    EXPECT_TRUE(t.measureZ(0, rng));
+    // Z on |1> leaves it.
+    t.applyZ(0);
+    EXPECT_TRUE(t.measureZ(0, rng));
+}
+
+TEST(Tableau, PlusStateIsXEigenstate)
+{
+    Rng rng(2);
+    Tableau t(1);
+    t.applyH(0);
+    EXPECT_FALSE(t.measureX(0, rng));
+    t.applyZ(0); // |+> -> |->
+    EXPECT_TRUE(t.measureX(0, rng));
+}
+
+TEST(Tableau, BellPairCorrelations)
+{
+    for (uint64_t seed = 0; seed < 16; ++seed) {
+        Rng rng(seed);
+        Tableau t(2);
+        t.applyH(0);
+        t.applyCnot(0, 1);
+        bool a = t.measureZ(0, rng);
+        bool b = t.measureZ(1, rng);
+        EXPECT_EQ(a, b) << "Bell pair Z outcomes must agree";
+    }
+}
+
+TEST(Tableau, MeasurementCollapsePersists)
+{
+    Rng rng(5);
+    Tableau t(1);
+    t.applyH(0);
+    bool first = t.measureZ(0, rng);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(t.measureZ(0, rng), first);
+    }
+}
+
+TEST(Tableau, ResetForcesZero)
+{
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        Rng rng(seed);
+        Tableau t(1);
+        t.applyH(0);
+        t.resetZ(0, rng);
+        EXPECT_FALSE(t.measureZ(0, rng));
+    }
+}
+
+TEST(Tableau, YEqualsXZUpToPhase)
+{
+    Rng rng(7);
+    Tableau a(1), b(1);
+    a.applyY(0);
+    b.applyX(0);
+    b.applyZ(0);
+    EXPECT_EQ(a.measureZ(0, rng), true);
+    EXPECT_EQ(b.measureZ(0, rng), true);
+}
+
+TEST(TableauCircuit, NoiselessDetectorsAreDeterministicallyZero)
+{
+    // The strongest structural check of the circuit builder: in a
+    // noiseless run every detector and every observable must be zero,
+    // for every benchmark code and both memory bases.
+    for (const code::CssCode &c : code::allBenchmarkCodes()) {
+        if (c.n() > 60) {
+            continue; // keep the sweep fast; larger codes covered below
+        }
+        auto cp = std::make_shared<const code::CssCode>(c);
+        for (auto basis :
+             {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
+            auto circ = circuit::buildMemoryCircuit(
+                circuit::colorationSchedule(cp), 2, basis);
+            Rng rng(99);
+            auto meas = runTableau(circ, rng);
+            ASSERT_EQ(meas.size(), circ.numMeasurements);
+            for (uint8_t d : detectorValues(circ, meas)) {
+                ASSERT_EQ(d, 0) << c.name();
+            }
+            for (uint8_t o : observableValues(circ, meas)) {
+                ASSERT_EQ(o, 0) << c.name();
+            }
+        }
+    }
+}
+
+TEST(TableauCircuit, NoiselessNzScheduleAllDistances)
+{
+    for (std::size_t d : {3, 5}) {
+        code::SurfaceCode s(d);
+        auto circ = circuit::buildMemoryCircuit(circuit::nzSchedule(s), d,
+                                                circuit::MemoryBasis::Z);
+        Rng rng(3);
+        auto meas = runTableau(circ, rng);
+        for (uint8_t det : detectorValues(circ, meas)) {
+            ASSERT_EQ(det, 0);
+        }
+    }
+}
+
+namespace {
+
+/**
+ * Cross-validate: for each enumerated fault location, the tableau
+ * simulator's detector/observable flips (faulty run vs noiseless run with
+ * identical measurement randomness) must equal the DEM's signature for
+ * the mechanism containing that fault.
+ */
+void
+crossValidate(const circuit::SmCircuit &circ, uint64_t seed)
+{
+    Dem dem = buildDem(circ, NoiseModel::uniform(1e-3));
+    // Index mechanisms by fault location.
+    std::map<std::tuple<std::size_t, int, int>, std::size_t> by_loc;
+    for (std::size_t e = 0; e < dem.errors.size(); ++e) {
+        for (const FaultLoc &loc : dem.errors[e].sources) {
+            by_loc[{loc.instr, (int)loc.p0, (int)loc.p1}] = e;
+        }
+    }
+
+    Rng ref_rng(seed);
+    auto ref = runTableau(circ, ref_rng);
+    auto ref_det = detectorValues(circ, ref);
+    auto ref_obs = observableValues(circ, ref);
+
+    std::size_t checked = 0;
+    for (const auto &[key, mech_idx] : by_loc) {
+        FaultLoc loc;
+        loc.instr = std::get<0>(key);
+        loc.p0 = (Pauli)std::get<1>(key);
+        loc.p1 = (Pauli)std::get<2>(key);
+        Rng rng(seed); // identical randomness as the reference run
+        auto meas = runTableau(circ, rng, &loc);
+        auto det = detectorValues(circ, meas);
+        auto obs = observableValues(circ, meas);
+
+        std::vector<uint32_t> flipped_det, flipped_obs;
+        for (std::size_t i = 0; i < det.size(); ++i) {
+            if (det[i] != ref_det[i]) {
+                flipped_det.push_back((uint32_t)i);
+            }
+        }
+        for (std::size_t i = 0; i < obs.size(); ++i) {
+            if (obs[i] != ref_obs[i]) {
+                flipped_obs.push_back((uint32_t)i);
+            }
+        }
+        ASSERT_EQ(flipped_det, dem.errors[mech_idx].detectors)
+            << "instr " << loc.instr;
+        ASSERT_EQ(flipped_obs, dem.errors[mech_idx].observables)
+            << "instr " << loc.instr;
+        ++checked;
+        if (checked >= 400) {
+            break; // plenty of coverage per circuit
+        }
+    }
+    ASSERT_GT(checked, 100u);
+}
+
+} // namespace
+
+TEST(TableauCrossValidation, SurfaceD3ColorationMemoryZ)
+{
+    code::SurfaceCode s(3);
+    auto cp = std::make_shared<const code::CssCode>(s.code());
+    crossValidate(circuit::buildMemoryCircuit(
+                      circuit::colorationSchedule(cp), 3,
+                      circuit::MemoryBasis::Z),
+                  11);
+}
+
+TEST(TableauCrossValidation, SurfaceD3NzMemoryX)
+{
+    code::SurfaceCode s(3);
+    crossValidate(circuit::buildMemoryCircuit(circuit::nzSchedule(s), 2,
+                                              circuit::MemoryBasis::X),
+                  13);
+}
+
+TEST(TableauCrossValidation, Lp39MemoryZ)
+{
+    auto cp =
+        std::make_shared<const code::CssCode>(code::benchmarkLp39());
+    crossValidate(circuit::buildMemoryCircuit(
+                      circuit::randomColorationSchedule(cp, 3), 2,
+                      circuit::MemoryBasis::Z),
+                  17);
+}

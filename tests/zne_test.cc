@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for extrapolation fits and the DS-ZNE / Hook-ZNE estimators.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zne/extrapolation.h"
+#include "zne/zne.h"
+
+using namespace prophunt::zne;
+
+TEST(Extrapolation, LinearExactOnLine)
+{
+    std::vector<double> xs{1, 2, 3, 4};
+    std::vector<double> ys;
+    for (double x : xs) {
+        ys.push_back(3.0 - 0.5 * x);
+    }
+    EXPECT_NEAR(extrapolateLinear(xs, ys), 3.0, 1e-12);
+}
+
+TEST(Extrapolation, ExponentialExactOnExponential)
+{
+    std::vector<double> xs{1, 2, 4, 8};
+    std::vector<double> ys;
+    for (double x : xs) {
+        ys.push_back(0.9 * std::exp(-0.3 * x));
+    }
+    EXPECT_NEAR(extrapolateExponential(xs, ys), 0.9, 1e-9);
+}
+
+TEST(Extrapolation, ExponentialFallsBackOnNegative)
+{
+    std::vector<double> xs{1, 2};
+    std::vector<double> ys{0.5, -0.1};
+    // Falls back to the linear fit: intercept = 1.1.
+    EXPECT_NEAR(extrapolateExponential(xs, ys), 1.1, 1e-9);
+}
+
+TEST(Extrapolation, RichardsonExactOnPolynomial)
+{
+    // y = 2 - x + 0.5 x^2 through 3 points: exact recovery at 0.
+    std::vector<double> xs{1, 2, 3};
+    std::vector<double> ys;
+    for (double x : xs) {
+        ys.push_back(2.0 - x + 0.5 * x * x);
+    }
+    EXPECT_NEAR(extrapolateRichardson(xs, ys), 2.0, 1e-9);
+}
+
+TEST(Extrapolation, BadInputThrows)
+{
+    EXPECT_THROW(extrapolateLinear({}, {}), std::invalid_argument);
+    EXPECT_THROW(extrapolateLinear({1.0}, {1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(Zne, SuppressionModel)
+{
+    // Lambda = 4, d = 3: P_L = 4^-2 = 1/16.
+    EXPECT_NEAR(logicalErrorRate(4.0, 3.0), 1.0 / 16.0, 1e-12);
+    // Larger distance suppresses more.
+    EXPECT_LT(logicalErrorRate(2.0, 9.0), logicalErrorRate(2.0, 7.0));
+    // Fractional distances interpolate smoothly.
+    double a = logicalErrorRate(2.0, 7.0);
+    double m = logicalErrorRate(2.0, 7.5);
+    double b = logicalErrorRate(2.0, 8.0);
+    EXPECT_GT(a, m);
+    EXPECT_GT(m, b);
+}
+
+TEST(Zne, RbExpectationDecays)
+{
+    EXPECT_NEAR(rbExpectation(0.0, 50), 1.0, 1e-12);
+    EXPECT_LT(rbExpectation(0.01, 50), 1.0);
+    EXPECT_GT(rbExpectation(0.01, 50), rbExpectation(0.02, 50));
+}
+
+TEST(Zne, SampledExpectationUnbiased)
+{
+    prophunt::sim::Rng rng(2);
+    double eps = 0.005;
+    std::size_t depth = 50;
+    double exact = rbExpectation(eps, depth);
+    double total = 0;
+    int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        total += sampleRbExpectation(eps, depth, 2000, rng);
+    }
+    EXPECT_NEAR(total / trials, exact, 0.01);
+}
+
+TEST(Zne, LaddersHaveFourLevels)
+{
+    auto ds = dsZneDistances(13);
+    auto hook = hookZneDistances(13);
+    EXPECT_EQ(ds.size(), 4u);
+    EXPECT_EQ(hook.size(), 4u);
+    EXPECT_EQ(ds[3], 7.0);
+    EXPECT_EQ(hook[3], 11.5);
+}
+
+TEST(Zne, EstimateNearIdealWithManyShots)
+{
+    ZneConfig cfg;
+    cfg.lambdaSuppression = 2.0;
+    cfg.depth = 50;
+    cfg.totalShots = 400000;
+    prophunt::sim::Rng rng(5);
+    double est = zneEstimate(hookZneDistances(13.0), cfg, rng);
+    EXPECT_NEAR(est, 1.0, 0.05);
+}
+
+TEST(Zne, HookBeatsDsAcrossRanges)
+{
+    // The paper's Figure 16b configuration: Lambda=2, depth 50, 20k shots.
+    ZneConfig cfg;
+    cfg.lambdaSuppression = 2.0;
+    cfg.depth = 50;
+    cfg.totalShots = 20000;
+    for (double dmax : {13.0, 11.0, 9.0}) {
+        double ds = zneBias(dsZneDistances(dmax), cfg, 120, 77);
+        double hook = zneBias(hookZneDistances(dmax), cfg, 120, 77);
+        EXPECT_LT(hook, ds) << "d_max = " << dmax;
+    }
+}
