@@ -11,6 +11,9 @@
  *   PROPHUNT_SAMPLES Subgraph samples per iteration (default 200)
  *   PROPHUNT_SAT_TIMEOUT Seconds per MaxSAT solve in Table 2 (default 60)
  *   PROPHUNT_FULL   If set, include the largest codes in sweeps.
+ *   PROPHUNT_THREADS LER worker threads (default 0 = hardware concurrency)
+ *   PROPHUNT_MAX_FAILURES Early-stop failure target per LER run (default 0
+ *                   = disabled; results stay thread-count independent)
  */
 #ifndef PROPHUNT_BENCH_COMMON_H
 #define PROPHUNT_BENCH_COMMON_H
@@ -56,6 +59,16 @@ shots()
     return envSize("PROPHUNT_SHOTS", 20000);
 }
 
+/** Options for the parallel LER engine, scaled by the environment. */
+inline prophunt::decoder::LerOptions
+lerOptions()
+{
+    prophunt::decoder::LerOptions opts;
+    opts.threads = envSize("PROPHUNT_THREADS", 0);
+    opts.maxFailures = envSize("PROPHUNT_MAX_FAILURES", 0);
+    return opts;
+}
+
 /** Combined memory-Z + memory-X LER of a schedule. */
 inline double
 combinedLer(const prophunt::circuit::SmSchedule &sched, std::size_t rounds,
@@ -65,7 +78,7 @@ combinedLer(const prophunt::circuit::SmSchedule &sched, std::size_t rounds,
     prophunt::sim::NoiseModel noise =
         prophunt::sim::NoiseModel::withIdle(p, p_idle);
     return prophunt::decoder::measureMemoryLer(sched, rounds, noise, kind,
-                                               num_shots, seed)
+                                               num_shots, seed, lerOptions())
         .combined();
 }
 

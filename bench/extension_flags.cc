@@ -34,7 +34,8 @@ flaggedLer(const circuit::SmSchedule &sched, std::size_t rounds, double p,
         sim::Dem dem = sim::buildDem(circ, sim::NoiseModel::uniform(p));
         auto dec =
             decoder::makeDecoder(dem, circ, decoder::DecoderKind::BpOsd);
-        auto r = decoder::measureDemLer(dem, *dec, n_shots, seed);
+        auto r = decoder::measureDemLer(dem, *dec, n_shots, seed,
+                                        phbench::lerOptions());
         total *= 1.0 - r.ler();
     }
     return 1.0 - total;

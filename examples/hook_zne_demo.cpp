@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "circuit/surface_schedules.h"
+#include "cli_common.h"
 #include "code/surface.h"
 #include "decoder/logical_error.h"
 #include "prophunt/optimizer.h"
@@ -23,8 +24,9 @@
 using namespace prophunt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    decoder::LerOptions lopts = phcli::lerOptionsFromArgs(argc, argv);
     // Step 1: gentle PropHunt run to harvest intermediate circuits.
     code::SurfaceCode surface(3);
     core::PropHuntOptions opts;
@@ -45,7 +47,7 @@ main()
         double ler = decoder::measureMemoryLer(
                          res.snapshots[i], 3,
                          sim::NoiseModel::uniform(2e-3),
-                         decoder::DecoderKind::UnionFind, 30000, 9)
+                         decoder::DecoderKind::UnionFind, 30000, 9, lopts)
                          .combined();
         lers.push_back(ler);
         std::printf("%10zu %10zu %12.5f\n", i, res.snapshots[i].depth(),

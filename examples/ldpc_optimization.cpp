@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "circuit/coloration.h"
+#include "cli_common.h"
 #include "code/codes.h"
 #include "decoder/logical_error.h"
 #include "prophunt/optimizer.h"
@@ -22,7 +23,8 @@ using namespace prophunt;
 namespace {
 
 void
-optimizeCode(const code::CssCode &code, std::size_t distance)
+optimizeCode(const code::CssCode &code, std::size_t distance,
+             const decoder::LerOptions &lopts)
 {
     auto cp = std::make_shared<const code::CssCode>(code);
     circuit::SmSchedule start = circuit::colorationSchedule(cp);
@@ -63,7 +65,7 @@ optimizeCode(const code::CssCode &code, std::size_t distance)
         return decoder::measureMemoryLer(s, distance,
                                          sim::NoiseModel::uniform(p),
                                          decoder::DecoderKind::BpOsd,
-                                         shots, 55)
+                                         shots, 55, lopts)
             .combined();
     };
     double l0 = ler(start), l1 = ler(res.finalSchedule());
@@ -75,10 +77,11 @@ optimizeCode(const code::CssCode &code, std::size_t distance)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    decoder::LerOptions lopts = phcli::lerOptionsFromArgs(argc, argv);
     std::printf("PropHunt on LDPC codes without hand-designed schedules\n");
-    optimizeCode(code::benchmarkLp39(), 3);
-    optimizeCode(code::benchmarkRqt60(), 6);
+    optimizeCode(code::benchmarkLp39(), 3, lopts);
+    optimizeCode(code::benchmarkRqt60(), 6, lopts);
     return 0;
 }

@@ -122,10 +122,12 @@ main(int argc, char **argv)
                            : decoder::DecoderKind::BpOsd;
     std::size_t shots = is_surface ? 20000 : 4000;
     double p = 2e-3;
+    decoder::LerOptions lopts;
+    lopts.threads = opts.threads;
     auto ler = [&](const circuit::SmSchedule &s) {
         return decoder::measureMemoryLer(s, spec->distance,
                                          sim::NoiseModel::uniform(p), kind,
-                                         shots, 3)
+                                         shots, 3, lopts)
             .combined();
     };
     double l0 = ler(start), l1 = ler(res.finalSchedule());

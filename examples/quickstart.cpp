@@ -17,6 +17,7 @@
 
 #include "circuit/coloration.h"
 #include "circuit/surface_schedules.h"
+#include "cli_common.h"
 #include "code/surface.h"
 #include "decoder/logical_error.h"
 #include "prophunt/optimizer.h"
@@ -25,8 +26,9 @@
 using namespace prophunt;
 
 int
-main()
+main(int argc, char **argv)
 {
+    decoder::LerOptions lopts = phcli::lerOptionsFromArgs(argc, argv);
     std::size_t d = 3;
     double p = 3e-3;
     std::size_t shots = 20000;
@@ -40,7 +42,8 @@ main()
     sim::NoiseModel noise = sim::NoiseModel::uniform(p);
     auto report = [&](const char *label, const circuit::SmSchedule &s) {
         decoder::MemoryLer ler = decoder::measureMemoryLer(
-            s, d, noise, decoder::DecoderKind::UnionFind, shots, 12345);
+            s, d, noise, decoder::DecoderKind::UnionFind, shots, 12345,
+            lopts);
         std::printf("%-24s depth=%zu  LER=%.4f (Z:%.4f X:%.4f)\n", label,
                     s.depth(), ler.combined(), ler.z.ler(), ler.x.ler());
         return ler.combined();

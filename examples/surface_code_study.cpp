@@ -14,6 +14,7 @@
 
 #include "circuit/coloration.h"
 #include "circuit/surface_schedules.h"
+#include "cli_common.h"
 #include "code/surface.h"
 #include "decoder/logical_error.h"
 #include "prophunt/optimizer.h"
@@ -23,7 +24,7 @@ using namespace prophunt;
 namespace {
 
 void
-study(std::size_t d)
+study(std::size_t d, const decoder::LerOptions &lopts)
 {
     code::SurfaceCode surface(d);
     auto cp = std::make_shared<const code::CssCode>(surface.code());
@@ -48,7 +49,7 @@ study(std::size_t d)
             double ler =
                 decoder::measureMemoryLer(
                     sched, d, sim::NoiseModel::uniform(p),
-                    decoder::DecoderKind::UnionFind, 20000, 19)
+                    decoder::DecoderKind::UnionFind, 20000, 19, lopts)
                     .combined();
             std::printf("  %11.5f", ler);
         }
@@ -62,10 +63,11 @@ study(std::size_t d)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    decoder::LerOptions lopts = phcli::lerOptionsFromArgs(argc, argv);
     std::printf("Surface-code SM schedule study (paper Figures 1 and 6)\n");
-    study(3);
-    study(5);
+    study(3, lopts);
+    study(5, lopts);
     return 0;
 }

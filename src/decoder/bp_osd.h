@@ -40,6 +40,12 @@ class BpOsdDecoder : public Decoder
 
     uint64_t decode(const std::vector<uint32_t> &flipped_detectors) override;
 
+    std::unique_ptr<Decoder>
+    clone() const override
+    {
+        return std::make_unique<BpOsdDecoder>(*this);
+    }
+
   private:
     /** Decode restricted to a subset of error columns; nullopt-like
      * failure is signaled via @p ok. */

@@ -11,6 +11,7 @@
 #define PROPHUNT_DECODER_DECODER_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace prophunt::decoder {
@@ -28,6 +29,14 @@ class Decoder
      * @return Bit mask of predicted observable flips.
      */
     virtual uint64_t decode(const std::vector<uint32_t> &flipped_detectors) = 0;
+
+    /**
+     * Independent copy for another worker thread.
+     *
+     * Decode results must not depend on which copy handles a shot; scratch
+     * state may be duplicated freely.
+     */
+    virtual std::unique_ptr<Decoder> clone() const = 0;
 };
 
 } // namespace prophunt::decoder

@@ -1,8 +1,14 @@
 #include "decoder/logical_error.h"
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
 #include "decoder/bp_osd.h"
 #include "decoder/union_find.h"
 #include "sim/dem_builder.h"
+#include "sim/parallel_sampler.h"
 #include "sim/sampler.h"
 
 namespace prophunt::decoder {
@@ -18,26 +24,106 @@ makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
     return std::make_unique<BpOsdDecoder>(dem);
 }
 
-LerResult
-measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
-              uint64_t seed)
+namespace {
+
+/** Sample and decode one shard; returns its failure count. */
+std::size_t
+decodeShard(const sim::Dem &dem, Decoder &dec, std::size_t shard_shots,
+            uint64_t shard_seed)
 {
-    sim::SampleBatch batch = sim::sampleDem(dem, shots, seed);
-    LerResult result;
-    result.shots = shots;
-    for (std::size_t s = 0; s < shots; ++s) {
+    sim::SampleBatch batch = sim::sampleDem(dem, shard_shots, shard_seed);
+    std::size_t failures = 0;
+    for (std::size_t s = 0; s < shard_shots; ++s) {
         uint64_t predicted = dec.decode(batch.flippedDetectors(s));
         if (predicted != batch.obsMask(s)) {
-            ++result.failures;
+            ++failures;
+        }
+    }
+    return failures;
+}
+
+} // namespace
+
+LerResult
+measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
+              uint64_t seed, const LerOptions &opts)
+{
+    sim::ShardPlan plan{shots, std::max<std::size_t>(opts.shardShots, 1)};
+    std::size_t n = plan.numShards();
+    LerResult result;
+    if (n == 0) {
+        return result;
+    }
+
+    // Validate before spawning: a throw inside a pool worker terminates.
+    sim::validateDemProbabilities(dem, "measureDemLer");
+
+    // Per-worker decoders: worker 0 uses the caller's, the rest clones.
+    std::size_t workers = sim::shardWorkers(plan, opts.threads);
+    std::vector<std::unique_ptr<Decoder>> clones;
+    clones.reserve(workers > 0 ? workers - 1 : 0);
+    for (std::size_t w = 1; w < workers; ++w) {
+        clones.push_back(dec.clone());
+    }
+
+    std::vector<std::size_t> shardFailures(n, 0);
+    std::vector<uint8_t> shardDone(n, 0);
+    std::atomic<bool> stop{false};
+    std::mutex prefixMutex;
+    std::size_t prefixEnd = 0;
+    std::size_t prefixFailures = 0;
+
+    sim::forEachShard(
+        plan, opts.threads,
+        [&](std::size_t shard, std::size_t worker) {
+            Decoder &d = worker == 0 ? dec : *clones[worker - 1];
+            std::size_t f = decodeShard(dem, d, plan.shotsOf(shard),
+                                        sim::shardSeed(seed, shard));
+            std::lock_guard<std::mutex> lock(prefixMutex);
+            shardFailures[shard] = f;
+            shardDone[shard] = 1;
+            // Advance the contiguous completed prefix; early stopping only
+            // triggers off in-order results so the final accounting below
+            // sees every shard up to the cut point.
+            while (prefixEnd < n && shardDone[prefixEnd]) {
+                prefixFailures += shardFailures[prefixEnd];
+                ++prefixEnd;
+            }
+            if (opts.maxFailures != 0 && prefixFailures >= opts.maxFailures) {
+                stop.store(true, std::memory_order_relaxed);
+            }
+        },
+        opts.maxFailures != 0 ? &stop : nullptr);
+
+    // Deterministic accounting: walk shards in index order and truncate at
+    // the first shard whose cumulative failures reach the target. Shards a
+    // fast worker finished beyond the cut are discarded, which makes
+    // failures/shots independent of the thread count.
+    for (std::size_t shard = 0; shard < n; ++shard) {
+        if (!shardDone[shard]) {
+            break;
+        }
+        result.shots += plan.shotsOf(shard);
+        result.failures += shardFailures[shard];
+        if (opts.maxFailures != 0 && result.failures >= opts.maxFailures) {
+            result.earlyStopped = shard + 1 < n;
+            break;
         }
     }
     return result;
 }
 
+LerResult
+measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
+              uint64_t seed)
+{
+    return measureDemLer(dem, dec, shots, seed, LerOptions{});
+}
+
 MemoryLer
 measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
                  const sim::NoiseModel &noise, DecoderKind kind,
-                 std::size_t shots, uint64_t seed)
+                 std::size_t shots, uint64_t seed, const LerOptions &opts)
 {
     MemoryLer out;
     for (auto basis : {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
@@ -48,10 +134,20 @@ measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
         LerResult r = measureDemLer(dem, *dec, shots,
                                     seed ^ (basis == circuit::MemoryBasis::X
                                                 ? 0x9e3779b97f4a7c15ULL
-                                                : 0));
+                                                : 0),
+                                    opts);
         (basis == circuit::MemoryBasis::Z ? out.z : out.x) = r;
     }
     return out;
+}
+
+MemoryLer
+measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
+                 const sim::NoiseModel &noise, DecoderKind kind,
+                 std::size_t shots, uint64_t seed)
+{
+    return measureMemoryLer(schedule, rounds, noise, kind, shots, seed,
+                            LerOptions{});
 }
 
 } // namespace prophunt::decoder

@@ -18,6 +18,7 @@
 #include "decoder/decoder.h"
 #include "sim/dem.h"
 #include "sim/noise_model.h"
+#include "sim/parallel_sampler.h"
 
 namespace prophunt::decoder {
 
@@ -38,6 +39,8 @@ struct LerResult
 {
     std::size_t shots = 0;
     std::size_t failures = 0;
+    /** True iff early stopping cut the run before the full shot budget. */
+    bool earlyStopped = false;
 
     double
     ler() const
@@ -46,7 +49,35 @@ struct LerResult
     }
 };
 
-/** Sample the DEM and decode each shot; failures are observable misses. */
+/** Knobs for the parallel Monte-Carlo LER engine. */
+struct LerOptions
+{
+    /** Worker threads; 0 means hardware concurrency. */
+    std::size_t threads = 1;
+    /**
+     * Stop once this many failures were seen (0 disables).
+     *
+     * Sequential-test style: cheap (high-LER) regimes resolve in a few
+     * shards instead of burning the full shot budget. Accounting walks
+     * completed shards in index order and truncates at the first shard
+     * where the cumulative failure count reaches the target, so the
+     * reported failures/shots are identical for every thread count.
+     */
+    std::size_t maxFailures = 0;
+    /** Shots per shard (granularity of parallelism and early stopping). */
+    std::size_t shardShots = sim::kDefaultShardShots;
+};
+
+/**
+ * Sample the DEM and decode each shot; failures are observable misses.
+ *
+ * Shots are sharded as in sim::sampleDemSharded: the result is
+ * bit-identical for every thread count at a fixed master seed.
+ */
+LerResult measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
+                        uint64_t seed, const LerOptions &opts);
+
+/** Single-thread, no-early-stop convenience overload. */
 LerResult measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
                         uint64_t seed);
 
@@ -69,6 +100,12 @@ struct MemoryLer
  *
  * Runs both memory bases with @p shots shots each.
  */
+MemoryLer measureMemoryLer(const circuit::SmSchedule &schedule,
+                           std::size_t rounds, const sim::NoiseModel &noise,
+                           DecoderKind kind, std::size_t shots, uint64_t seed,
+                           const LerOptions &opts);
+
+/** Single-thread, no-early-stop convenience overload. */
 MemoryLer measureMemoryLer(const circuit::SmSchedule &schedule,
                            std::size_t rounds, const sim::NoiseModel &noise,
                            DecoderKind kind, std::size_t shots,

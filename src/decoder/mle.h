@@ -29,6 +29,12 @@ class MleDecoder : public Decoder
 
     uint64_t decode(const std::vector<uint32_t> &flipped_detectors) override;
 
+    std::unique_ptr<Decoder>
+    clone() const override
+    {
+        return std::make_unique<MleDecoder>(*this);
+    }
+
   private:
     const sim::Dem dem_;
     std::size_t maxWeight_;

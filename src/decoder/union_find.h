@@ -24,6 +24,12 @@ class UnionFindDecoder : public Decoder
 
     uint64_t decode(const std::vector<uint32_t> &flipped_detectors) override;
 
+    std::unique_ptr<Decoder>
+    clone() const override
+    {
+        return std::make_unique<UnionFindDecoder>(*this);
+    }
+
     const MatchingGraph &graph() const { return graph_; }
 
   private:

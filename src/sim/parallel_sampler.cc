@@ -1,0 +1,128 @@
+#include "sim/parallel_sampler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace prophunt::sim {
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+shardSeed(uint64_t master_seed, std::size_t shard)
+{
+    // Equivalent to advancing SplitMix64(master_seed) shard+1 times and
+    // taking the last output, but O(1): the state after k steps is
+    // master_seed + k * golden.
+    uint64_t state = master_seed + (uint64_t)shard * 0x9e3779b97f4a7c15ULL;
+    return splitMix64(state);
+}
+
+std::size_t
+resolveThreads(std::size_t threads)
+{
+    if (threads != 0) {
+        return threads;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::size_t
+shardWorkers(const ShardPlan &plan, std::size_t threads)
+{
+    return std::min(resolveThreads(threads), plan.numShards());
+}
+
+void
+forEachShard(const ShardPlan &plan, std::size_t threads,
+             const std::function<void(std::size_t, std::size_t)> &fn,
+             const std::atomic<bool> *stop)
+{
+    std::size_t n = plan.numShards();
+    if (n == 0) {
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto run = [&](std::size_t worker) {
+        for (;;) {
+            if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+                return;
+            }
+            std::size_t shard = next.fetch_add(1);
+            if (shard >= n) {
+                return;
+            }
+            fn(shard, worker);
+        }
+    };
+
+    std::size_t workers = shardWorkers(plan, threads);
+    if (workers <= 1) {
+        run(0);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+        pool.emplace_back(run, w);
+    }
+    try {
+        run(0);
+    } catch (...) {
+        for (std::thread &t : pool) {
+            t.join();
+        }
+        throw;
+    }
+    for (std::thread &t : pool) {
+        t.join();
+    }
+}
+
+void
+validateDemProbabilities(const Dem &dem, const char *where)
+{
+    for (const ErrorMechanism &mech : dem.errors) {
+        if (mech.p >= 1.0) {
+            throw std::invalid_argument(std::string(where) + ": p >= 1");
+        }
+    }
+}
+
+SampleBatch
+sampleDemSharded(const Dem &dem, std::size_t shots, uint64_t seed,
+                 std::size_t threads, std::size_t shard_shots)
+{
+    SampleBatch batch;
+    batch.shots = shots;
+    batch.detWords = (dem.numDetectors + 63) / 64;
+    batch.obsWords = (std::max<std::size_t>(dem.numObservables, 1) + 63) / 64;
+    batch.det.assign(shots * batch.detWords, 0);
+    batch.obs.assign(shots * batch.obsWords, 0);
+
+    // Validate up front: a throw inside a worker would terminate.
+    validateDemProbabilities(dem, "sampleDemSharded");
+
+    ShardPlan plan{shots, std::max<std::size_t>(shard_shots, 1)};
+    forEachShard(plan, threads, [&](std::size_t shard, std::size_t) {
+        std::size_t off = plan.offsetOf(shard);
+        sampleDemInto(dem, plan.shotsOf(shard), shardSeed(seed, shard),
+                      batch.detWords, batch.obsWords,
+                      batch.det.data() + off * batch.detWords,
+                      batch.obs.data() + off * batch.obsWords);
+    });
+    return batch;
+}
+
+} // namespace prophunt::sim

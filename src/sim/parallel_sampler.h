@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Sharded, multi-threaded Monte-Carlo sampling.
+ *
+ * Shots are split into fixed-size shards; shard i is sampled with its own
+ * RNG stream seeded by the i-th output of a SplitMix64 generator seeded
+ * with the master seed. The result is therefore defined as the
+ * concatenation of independent per-shard serial runs, which makes it
+ * bit-identical for every thread count (including 1) at a fixed master
+ * seed. Threads claim shards from an atomic counter and write into
+ * disjoint row ranges of one shared batch.
+ */
+#ifndef PROPHUNT_SIM_PARALLEL_SAMPLER_H
+#define PROPHUNT_SIM_PARALLEL_SAMPLER_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "sim/sampler.h"
+
+namespace prophunt::sim {
+
+/** Default shots per shard: large enough to amortize thread handoff,
+ * small enough that early stopping has useful granularity. */
+inline constexpr std::size_t kDefaultShardShots = 4096;
+
+/** One step of the SplitMix64 sequence (state is advanced in place). */
+uint64_t splitMix64(uint64_t &state);
+
+/** Seed of shard @p shard: the shard-th output of SplitMix64(masterSeed). */
+uint64_t shardSeed(uint64_t master_seed, std::size_t shard);
+
+/** Resolve a thread-count knob: 0 means hardware concurrency. */
+std::size_t resolveThreads(std::size_t threads);
+
+/** Fixed-size sharding of a shot budget. */
+struct ShardPlan
+{
+    std::size_t shots = 0;
+    std::size_t shardShots = kDefaultShardShots;
+
+    std::size_t
+    numShards() const
+    {
+        return shardShots == 0 ? 0 : (shots + shardShots - 1) / shardShots;
+    }
+
+    std::size_t
+    offsetOf(std::size_t shard) const
+    {
+        return shard * shardShots;
+    }
+
+    /** Shots in shard @p shard (the last shard may be short). */
+    std::size_t
+    shotsOf(std::size_t shard) const
+    {
+        std::size_t off = offsetOf(shard);
+        return off >= shots ? 0 : std::min(shardShots, shots - off);
+    }
+};
+
+/** Workers forEachShard will use: min(resolveThreads(threads), shards). */
+std::size_t shardWorkers(const ShardPlan &plan, std::size_t threads);
+
+/**
+ * Throw std::invalid_argument if any mechanism has p >= 1.
+ *
+ * Callers that sample on pool threads must validate before spawning: a
+ * throw inside a worker would terminate the process.
+ */
+void validateDemProbabilities(const Dem &dem, const char *where);
+
+/**
+ * Run @p fn(shard, worker) for every shard of @p plan.
+ *
+ * Shards are claimed from an atomic counter, so claim order is ascending;
+ * worker is in [0, shardWorkers(plan, threads)) and lets callers keep
+ * per-worker state (e.g. a cloned decoder). If @p stop is non-null it is
+ * checked before each claim; shards already claimed still complete, which
+ * keeps the completed set a contiguous prefix. @p fn must not throw from
+ * pool threads — validate inputs before calling.
+ */
+void forEachShard(const ShardPlan &plan, std::size_t threads,
+                  const std::function<void(std::size_t, std::size_t)> &fn,
+                  const std::atomic<bool> *stop = nullptr);
+
+/**
+ * Sample @p shots shots from @p dem across @p threads workers.
+ *
+ * Bit-identical for every thread count at a fixed master seed; equals the
+ * concatenation of sampleDem(plan.shotsOf(i), shardSeed(seed, i)) runs.
+ */
+SampleBatch sampleDemSharded(const Dem &dem, std::size_t shots, uint64_t seed,
+                             std::size_t threads,
+                             std::size_t shard_shots = kDefaultShardShots);
+
+} // namespace prophunt::sim
+
+#endif // PROPHUNT_SIM_PARALLEL_SAMPLER_H

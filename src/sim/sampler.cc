@@ -1,5 +1,6 @@
 #include "sim/sampler.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
@@ -29,16 +30,11 @@ SampleBatch::obsMask(std::size_t shot) const
     return obsWords == 0 ? 0 : obs[shot * obsWords];
 }
 
-SampleBatch
-sampleDem(const Dem &dem, std::size_t shots, uint64_t seed)
+void
+sampleDemInto(const Dem &dem, std::size_t shots, uint64_t seed,
+              std::size_t det_words, std::size_t obs_words, uint64_t *det,
+              uint64_t *obs)
 {
-    SampleBatch batch;
-    batch.shots = shots;
-    batch.detWords = (dem.numDetectors + 63) / 64;
-    batch.obsWords = (std::max<std::size_t>(dem.numObservables, 1) + 63) / 64;
-    batch.det.assign(shots * batch.detWords, 0);
-    batch.obs.assign(shots * batch.obsWords, 0);
-
     Rng rng(seed);
     for (const ErrorMechanism &mech : dem.errors) {
         if (mech.p <= 0.0) {
@@ -53,11 +49,11 @@ sampleDem(const Dem &dem, std::size_t shots, uint64_t seed)
         std::size_t shot =
             (std::size_t)(std::log(u <= 0 ? 1e-300 : u) / log1mp);
         while (shot < shots) {
-            uint64_t *drow = batch.det.data() + shot * batch.detWords;
+            uint64_t *drow = det + shot * det_words;
             for (uint32_t d : mech.detectors) {
                 drow[d >> 6] ^= uint64_t{1} << (d & 63);
             }
-            uint64_t *orow = batch.obs.data() + shot * batch.obsWords;
+            uint64_t *orow = obs + shot * obs_words;
             for (uint32_t o : mech.observables) {
                 orow[o >> 6] ^= uint64_t{1} << (o & 63);
             }
@@ -66,6 +62,19 @@ sampleDem(const Dem &dem, std::size_t shots, uint64_t seed)
                     (std::size_t)(std::log(u <= 0 ? 1e-300 : u) / log1mp);
         }
     }
+}
+
+SampleBatch
+sampleDem(const Dem &dem, std::size_t shots, uint64_t seed)
+{
+    SampleBatch batch;
+    batch.shots = shots;
+    batch.detWords = (dem.numDetectors + 63) / 64;
+    batch.obsWords = (std::max<std::size_t>(dem.numObservables, 1) + 63) / 64;
+    batch.det.assign(shots * batch.detWords, 0);
+    batch.obs.assign(shots * batch.obsWords, 0);
+    sampleDemInto(dem, shots, seed, batch.detWords, batch.obsWords,
+                  batch.det.data(), batch.obs.data());
     return batch;
 }
 

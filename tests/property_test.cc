@@ -22,13 +22,6 @@ using namespace prophunt;
 
 namespace {
 
-const std::vector<std::size_t> &
-distances()
-{
-    static std::vector<std::size_t> d = {3, 5, 7, 9, 3, 6, 4, 4};
-    return d;
-}
-
 std::shared_ptr<const code::CssCode>
 benchCode(std::size_t idx)
 {
