@@ -108,7 +108,9 @@ roundsFor(const prophunt::code::CssCode &code, std::size_t distance)
     return distance;
 }
 
-/** Default PropHunt options scaled by the environment. */
+/** Default PropHunt options scaled by the environment. The LER knobs are
+ * shared with the optimizer so PROPHUNT_THREADS sizes one pool for
+ * sampling, candidate verification, and LER scoring alike. */
 inline prophunt::core::PropHuntOptions
 defaultOptions(uint64_t seed)
 {
@@ -116,6 +118,7 @@ defaultOptions(uint64_t seed)
     opts.iterations = envSize("PROPHUNT_ITERS", 6);
     opts.samplesPerIteration = envSize("PROPHUNT_SAMPLES", 200);
     opts.seed = seed;
+    opts.ler = lerOptions();
     return opts;
 }
 

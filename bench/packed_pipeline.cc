@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Before/after micro-benchmark of the packed sample -> decodeBatch
+ * pipeline on the Figure 12 LDPC codes (single thread, reduced shots).
+ *
+ * "Seed scalar" is the original pipeline preserved verbatim: scalar
+ * row-layout sampling, a fresh flipped-detector vector per shot, and
+ * BpOsdDecoder::decodeReference (the per-region implementation the
+ * repository started with). "Packed" is the word-packed frame sampler, one
+ * transpose per batch, and the batched decoder with default options.
+ *
+ * Alongside throughput the run verifies the pipeline's three contracts:
+ * the packed sampler reproduces the scalar sampler bit for bit,
+ * decodeBatch equals per-shot decode() on identical syndromes, and the
+ * exact decoder mode (stagnationWindow = 0) reproduces the seed reference
+ * prediction for prediction.
+ *
+ * Writes a JSON artifact to $PROPHUNT_BENCH_OUT (default
+ * BENCH_packed_pipeline.json); bench/results/ keeps a committed baseline.
+ */
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "decoder/bp_osd.h"
+#include "sim/frame_sampler.h"
+
+using namespace prophunt;
+
+namespace {
+
+struct Config
+{
+    const char *name;
+    code::CssCode (*build)();
+    std::size_t rounds;
+    double p;
+    std::size_t divisor; ///< shots = PROPHUNT_SHOTS / divisor.
+};
+
+struct Row
+{
+    std::string name;
+    std::size_t shots = 0;
+    double p = 0;
+    double scalarRate = 0;
+    double packedRate = 0;
+    bool samplerIdentical = false;
+    bool batchEqualsDecode = false;
+    bool exactEqualsReference = false;
+    double lerScalar = 0;
+    double lerPacked = 0;
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+Row
+runConfig(const Config &cfg)
+{
+    Row row;
+    row.name = cfg.name;
+    row.p = cfg.p;
+    std::size_t base = phbench::envSize("PROPHUNT_SHOTS", 20000);
+    row.shots = std::max<std::size_t>(100, base / cfg.divisor);
+
+    auto cp = std::make_shared<const code::CssCode>(cfg.build());
+    auto sched = circuit::colorationSchedule(cp);
+    auto circ = circuit::buildMemoryCircuit(sched, cfg.rounds,
+                                            circuit::MemoryBasis::Z);
+    sim::Dem dem = sim::buildDem(circ, sim::NoiseModel::uniform(cfg.p));
+
+    decoder::BpOsdOptions exactOpts;
+    exactOpts.stagnationWindow = 0;
+    decoder::BpOsdDecoder seedDec(dem, exactOpts);
+    decoder::BpOsdDecoder packedDec(dem); // default (stagnation window)
+
+    // Best-of-N timing on both paths to suppress scheduler noise.
+    std::size_t reps = std::max<std::size_t>(
+        1, phbench::envSize("PROPHUNT_BENCH_REPS", 3));
+
+    // --- seed scalar path: row sampling + per-shot reference decode.
+    std::vector<uint64_t> seedPred(row.shots);
+    sim::SampleBatch scalarBatch;
+    double scalarSecs = 1e300;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        double t0 = now();
+        scalarBatch = sim::sampleDem(dem, row.shots, 201);
+        for (std::size_t s = 0; s < row.shots; ++s) {
+            seedPred[s] =
+                seedDec.decodeReference(scalarBatch.flippedDetectors(s));
+        }
+        scalarSecs = std::min(scalarSecs, now() - t0);
+    }
+
+    // --- packed path: frame sampling + transpose + batched decode.
+    std::vector<uint64_t> packedPred(row.shots);
+    sim::FrameBatch frames;
+    sim::SampleBatch rows;
+    double packedSecs = 1e300;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+        double t0 = now();
+        sim::sampleDemFramesInto(dem, row.shots, 201, frames);
+        sim::transposeFrames(frames, rows);
+        packedDec.decodeBatch(rows, 0, row.shots, packedPred.data());
+        packedSecs = std::min(packedSecs, now() - t0);
+    }
+
+    row.scalarRate = row.shots / scalarSecs;
+    row.packedRate = row.shots / packedSecs;
+
+    // Contracts.
+    row.samplerIdentical =
+        rows.det == scalarBatch.det && rows.obs == scalarBatch.obs;
+    row.batchEqualsDecode = true;
+    row.exactEqualsReference = true;
+    std::vector<uint32_t> scratch;
+    std::size_t failScalar = 0, failPacked = 0;
+    for (std::size_t s = 0; s < row.shots; ++s) {
+        rows.flippedDetectors(s, scratch);
+        if (packedDec.decode(scratch) != packedPred[s]) {
+            row.batchEqualsDecode = false;
+        }
+        if (seedDec.decode(scratch) != seedPred[s]) {
+            row.exactEqualsReference = false;
+        }
+        failScalar += seedPred[s] != rows.obsMask(s);
+        failPacked += packedPred[s] != rows.obsMask(s);
+    }
+    row.lerScalar = (double)failScalar / row.shots;
+    row.lerPacked = (double)failPacked / row.shots;
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Packed sample -> decodeBatch pipeline vs seed scalar "
+                "path (fig12 LDPC codes, 1 thread) ===\n");
+    std::printf("Expected shape: >=3x shots/sec on the RQT codes where "
+                "BP+OSD dominates; identical sampler bits; decodeBatch == "
+                "decode; exact mode == seed reference.\n\n");
+
+    const Config configs[] = {
+        {"lp39", code::benchmarkLp39, 3, 2e-3, 5},
+        {"rqt54", code::benchmarkRqt54, 4, 2e-3, 33},
+        {"rqt60", code::benchmarkRqt60, 6, 2e-3, 50},
+    };
+
+    std::vector<Row> rowsOut;
+    bool contractsHold = true;
+    std::printf("%-7s %6s %10s %12s %12s %8s %8s %8s %9s %9s\n", "code",
+                "shots", "p", "scalar/s", "packed/s", "speedup", "bits==",
+                "batch==", "LERscal", "LERpack");
+    for (const Config &cfg : configs) {
+        Row r = runConfig(cfg);
+        std::printf("%-7s %6zu %10.4f %12.0f %12.0f %7.2fx %8s %8s %9.4f "
+                    "%9.4f\n",
+                    r.name.c_str(), r.shots, r.p, r.scalarRate,
+                    r.packedRate, r.packedRate / r.scalarRate,
+                    r.samplerIdentical ? "yes" : "NO",
+                    r.batchEqualsDecode && r.exactEqualsReference ? "yes"
+                                                                  : "NO",
+                    r.lerScalar, r.lerPacked);
+        contractsHold = contractsHold && r.samplerIdentical &&
+                        r.batchEqualsDecode && r.exactEqualsReference;
+        rowsOut.push_back(r);
+    }
+
+    const char *outPath = std::getenv("PROPHUNT_BENCH_OUT");
+    std::string path = outPath ? outPath : "BENCH_packed_pipeline.json";
+    if (FILE *f = std::fopen(path.c_str(), "w")) {
+        std::fprintf(f, "{\n  \"bench\": \"packed_pipeline\",\n"
+                        "  \"threads\": 1,\n  \"configs\": [\n");
+        for (std::size_t i = 0; i < rowsOut.size(); ++i) {
+            const Row &r = rowsOut[i];
+            std::fprintf(
+                f,
+                "    {\"code\": \"%s\", \"shots\": %zu, \"p\": %g,\n"
+                "     \"seed_scalar_shots_per_sec\": %.1f,\n"
+                "     \"packed_batch_shots_per_sec\": %.1f,\n"
+                "     \"speedup\": %.3f,\n"
+                "     \"sampler_bits_identical\": %s,\n"
+                "     \"batch_equals_decode\": %s,\n"
+                "     \"exact_mode_equals_seed_reference\": %s,\n"
+                "     \"ler_seed_scalar\": %.5f, \"ler_packed\": %.5f}%s\n",
+                r.name.c_str(), r.shots, r.p, r.scalarRate, r.packedRate,
+                r.packedRate / r.scalarRate,
+                r.samplerIdentical ? "true" : "false",
+                r.batchEqualsDecode ? "true" : "false",
+                r.exactEqualsReference ? "true" : "false", r.lerScalar,
+                r.lerPacked, i + 1 < rowsOut.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("\nwrote %s\n", path.c_str());
+    }
+    if (!contractsHold) {
+        std::fprintf(stderr, "packed_pipeline: contract violation (see "
+                             "table above)\n");
+        return 1;
+    }
+    return 0;
+}

@@ -97,6 +97,7 @@ main(int argc, char **argv)
     opts.samplesPerIteration = std::strtoull(argv[2], nullptr, 10);
     opts.iterations = std::strtoull(argv[3], nullptr, 10);
     opts.threads = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
+    opts.ler.threads = opts.threads;
     opts.seed = 1;
 
     code::CssCode code = spec->build();
@@ -122,8 +123,7 @@ main(int argc, char **argv)
                            : decoder::DecoderKind::BpOsd;
     std::size_t shots = is_surface ? 20000 : 4000;
     double p = 2e-3;
-    decoder::LerOptions lopts;
-    lopts.threads = opts.threads;
+    decoder::LerOptions lopts = opts.ler;
     auto ler = [&](const circuit::SmSchedule &s) {
         return decoder::measureMemoryLer(s, spec->distance,
                                          sim::NoiseModel::uniform(p), kind,

@@ -7,6 +7,19 @@
 
 namespace prophunt::decoder {
 
+namespace {
+
+/**
+ * Message sentinel on inactive edges. Equal to the reference min-sum
+ * magnitude initialization, so an inactive edge can never displace an
+ * active one from the two-minimum (the two smallest of a multiset already
+ * containing two 1e300 entries are unchanged by adding more), and its
+ * positive sign leaves the row sign product alone.
+ */
+constexpr double kInactive = 1e300;
+
+} // namespace
+
 BpOsdDecoder::BpOsdDecoder(const sim::Dem &dem, BpOsdOptions opts)
     : opts_(opts), numDetectors_(dem.numDetectors)
 {
@@ -31,6 +44,436 @@ BpOsdDecoder::BpOsdDecoder(const sim::Dem &dem, BpOsdOptions opts)
                 single_[mech.detectors] = {obs, mech.p};
             }
         }
+    }
+
+    // Flatten the Tanner graph once: edge e of column c occupies slots
+    // colBegin_[c]..colBegin_[c+1]; detEdges_ lists the same edge ids per
+    // detector in (column, slot) order — the traversal order every
+    // per-shot pass reuses.
+    std::size_t ne = colDets_.size();
+    colBegin_.assign(ne + 1, 0);
+    for (std::size_t c = 0; c < ne; ++c) {
+        colBegin_[c + 1] = colBegin_[c] + (uint32_t)colDets_[c].size();
+    }
+    std::size_t edges = colBegin_[ne];
+    colDet_.reserve(edges);
+    for (std::size_t c = 0; c < ne; ++c) {
+        for (uint32_t d : colDets_[c]) {
+            colDet_.push_back(d);
+        }
+    }
+    detBegin_.assign(numDetectors_ + 1, 0);
+    for (uint32_t d : colDet_) {
+        ++detBegin_[d + 1];
+    }
+    for (std::size_t d = 0; d < numDetectors_; ++d) {
+        detBegin_[d + 1] += detBegin_[d];
+    }
+    detEdges_.resize(edges);
+    {
+        std::vector<uint32_t> fill(detBegin_.begin(),
+                                   detBegin_.end() - 1);
+        for (std::size_t e = 0; e < edges; ++e) {
+            detEdges_[fill[colDet_[e]]++] = (uint32_t)e;
+        }
+    }
+    detCol_.resize(edges);
+    for (std::size_t d = 0; d < numDetectors_; ++d) {
+        for (uint32_t i = detBegin_[d]; i < detBegin_[d + 1]; ++i) {
+            // detEdges_ is ordered by column within a detector, so this
+            // reproduces the detCols_ adjacency order exactly.
+            uint32_t e = detEdges_[i];
+            uint32_t lo = 0, hi = (uint32_t)ne;
+            while (lo + 1 < hi) {
+                uint32_t mid = (lo + hi) / 2;
+                if (colBegin_[mid] <= e) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            detCol_[i] = lo;
+        }
+    }
+    allCols_.resize(ne);
+    std::iota(allCols_.begin(), allCols_.end(), 0);
+
+    msgC2d_.assign(edges, kInactive);
+    msgD2c_.resize(edges);
+    posterior_.assign(ne, 0.0);
+    hard_.assign(ne, 0);
+    acc_.assign(numDetectors_, 0);
+    syn_.assign(numDetectors_, 0);
+    errIn_.assign(ne, 0);
+    detIn_.assign(numDetectors_, 0);
+    detLocal_.assign(numDetectors_, -1);
+    std::size_t maxDeg = 0;
+    for (std::size_t d = 0; d < numDetectors_; ++d) {
+        maxDeg = std::max<std::size_t>(maxDeg,
+                                       detBegin_[d + 1] - detBegin_[d]);
+    }
+    edgeNeg_.assign(maxDeg, 0);
+}
+
+uint64_t
+BpOsdDecoder::runRegion(const std::vector<uint32_t> &cols,
+                        const std::vector<uint32_t> &flipped, bool &ok)
+{
+    // One pass over the region's edges: install prior messages and build
+    // the local detector numbering in the reference discovery order
+    // (consumed by OSD); regionDets_ doubles as the active-detector
+    // worklist.
+    regionDets_.clear();
+    for (uint32_t c : cols) {
+        double prior = prior_[c];
+        posterior_[c] = 0.0;
+        for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+            msgC2d_[e] = prior;
+            uint32_t d = colDet_[e];
+            if (detLocal_[d] < 0) {
+                detLocal_[d] = (int32_t)regionDets_.size();
+                regionDets_.push_back(d);
+            }
+        }
+    }
+    bool feasible = true;
+    for (uint32_t d : flipped) {
+        if (detLocal_[d] < 0) {
+            // A flipped detector with no adjacent error in the region:
+            // unsolvable here.
+            feasible = false;
+            break;
+        }
+    }
+    if (!feasible) {
+        for (uint32_t d : regionDets_) {
+            detLocal_[d] = -1;
+        }
+        for (uint32_t c : cols) {
+            for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+                msgC2d_[e] = kInactive;
+            }
+        }
+        ok = false;
+        return 0;
+    }
+
+    for (uint32_t d : flipped) {
+        syn_[d] = 1;
+    }
+    // Hamming distance between the hard-decision parity and the syndrome;
+    // hard_/acc_ start all-zero between shots.
+    std::ptrdiff_t mismatches = (std::ptrdiff_t)flipped.size();
+
+    double scale = opts_.scale;
+    bool converged = false;
+    std::ptrdiff_t bestMismatches = mismatches;
+    std::size_t sinceBest = 0;
+    for (std::size_t it = 0; it < opts_.maxIterations && !converged; ++it) {
+        // Detector -> column (min-sum with normalization). Inactive edges
+        // sit at the kInactive sentinel and cannot perturb the result:
+        // their magnitude matches the two-minimum initialization and their
+        // sign is positive. Messages are staged into a stack buffer so the
+        // write-back pass needs no second gather, and the two-minimum
+        // tracking compiles to conditional moves instead of branches.
+        for (uint32_t d : regionDets_) {
+            uint32_t b = detBegin_[d], en = detBegin_[d + 1];
+            uint32_t deg = en - b;
+            bool negProduct = syn_[d] != 0;
+            double min1 = 1e300, min2 = 1e300;
+            uint32_t argpos = UINT32_MAX;
+            for (uint32_t i = 0; i < deg; ++i) {
+                double v = msgC2d_[detEdges_[b + i]];
+                bool neg = v < 0.0;
+                negProduct = negProduct != neg;
+                edgeNeg_[i] = neg;
+                double a = std::fabs(v);
+                if (a < min1) {
+                    min2 = min1;
+                    min1 = a;
+                    argpos = i;
+                } else if (a < min2) {
+                    min2 = a;
+                }
+            }
+            double m1 = scale * min1, m2 = scale * min2;
+            for (uint32_t i = 0; i < deg; ++i) {
+                double mag = (i == argpos) ? m2 : m1;
+                msgD2c_[detEdges_[b + i]] =
+                    (negProduct != (bool)edgeNeg_[i]) ? -mag : mag;
+            }
+        }
+        // Column -> detector, posterior, hard decision. The syndrome check
+        // is maintained incrementally: a hard-decision flip toggles the
+        // parity of the column's detectors.
+        for (uint32_t c : cols) {
+            uint32_t b = colBegin_[c], en = colBegin_[c + 1];
+            double total = prior_[c];
+            for (uint32_t e = b; e < en; ++e) {
+                total += msgD2c_[e];
+            }
+            posterior_[c] = total;
+            uint8_t h = total < 0;
+            if (h != hard_[c]) {
+                hard_[c] = h;
+                for (uint32_t e = b; e < en; ++e) {
+                    uint32_t d = colDet_[e];
+                    acc_[d] ^= 1;
+                    mismatches += (acc_[d] != syn_[d]) ? 1 : -1;
+                }
+            }
+            for (uint32_t e = b; e < en; ++e) {
+                msgC2d_[e] = total - msgD2c_[e];
+            }
+        }
+        converged = mismatches == 0;
+        if (!converged && opts_.stagnationWindow != 0) {
+            if (mismatches < bestMismatches) {
+                bestMismatches = mismatches;
+                sinceBest = 0;
+            } else if (++sinceBest >= opts_.stagnationWindow) {
+                break; // BP stagnated; hand the posteriors to OSD.
+            }
+        }
+    }
+
+    uint64_t result = 0;
+    bool solved = false;
+    if (converged) {
+        for (uint32_t c : cols) {
+            if (hard_[c]) {
+                result ^= colObs_[c];
+            }
+        }
+        solved = true;
+    } else {
+        // OSD-0: process columns in decreasing error likelihood (ascending
+        // posterior LLR) and solve H x = s by incremental elimination on
+        // column vectors over the local detectors.
+        std::size_t ne = cols.size(), nd = regionDets_.size();
+        order_.resize(ne);
+        std::iota(order_.begin(), order_.end(), 0);
+        auto byPosterior = [&](uint32_t a, uint32_t b) {
+            return posterior_[cols[a]] < posterior_[cols[b]];
+        };
+        // Elimination usually terminates within a few dozen columns, so on
+        // large regions only the most likely prefix is sorted up front; the
+        // tail is sorted lazily if ever reached. The reference-exact mode
+        // keeps the full sort so column order matches bit for bit.
+        constexpr std::size_t kOsdPrefix = 512;
+        bool fullSort = opts_.stagnationWindow == 0 || ne <= kOsdPrefix;
+        if (fullSort) {
+            std::sort(order_.begin(), order_.end(), byPosterior);
+        } else {
+            std::nth_element(order_.begin(), order_.begin() + kOsdPrefix,
+                             order_.end(), byPosterior);
+            std::sort(order_.begin(), order_.begin() + kOsdPrefix,
+                      byPosterior);
+        }
+
+        std::size_t words = (nd + 63) / 64;
+        synWords_.assign(words, 0);
+        for (uint32_t d : flipped) {
+            uint32_t ld = (uint32_t)detLocal_[d];
+            synWords_[ld >> 6] |= uint64_t{1} << (ld & 63);
+        }
+        pivRow_.clear();
+        pivCols_.clear();
+        pivMembers_.clear();
+        pivMemBegin_.assign(1, 0);
+        solUses_.assign(ne, 0);
+        // Reduce the syndrome as we go; solution = pivots whose row bit is
+        // set in the (running) reduced syndrome.
+        for (std::size_t oi = 0; oi < ne; ++oi) {
+            if (!fullSort && oi == kOsdPrefix) {
+                std::sort(order_.begin() + kOsdPrefix, order_.end(),
+                          byPosterior);
+            }
+            uint32_t oc = order_[oi];
+            uint32_t gc = cols[oc];
+            colWords_.assign(words, 0);
+            for (uint32_t e = colBegin_[gc]; e < colBegin_[gc + 1]; ++e) {
+                uint32_t ld = (uint32_t)detLocal_[colDet_[e]];
+                colWords_[ld >> 6] |= uint64_t{1} << (ld & 63);
+            }
+            memScratch_.clear();
+            memScratch_.push_back(oc);
+            std::size_t npiv = pivRow_.size();
+            for (std::size_t pi = 0; pi < npiv; ++pi) {
+                std::size_t prow = pivRow_[pi];
+                if ((colWords_[prow >> 6] >> (prow & 63)) & 1) {
+                    const uint64_t *pc = pivCols_.data() + pi * words;
+                    for (std::size_t w = 0; w < words; ++w) {
+                        colWords_[w] ^= pc[w];
+                    }
+                    for (uint32_t mi = pivMemBegin_[pi];
+                         mi < pivMemBegin_[pi + 1]; ++mi) {
+                        memScratch_.push_back(pivMembers_[mi]);
+                    }
+                }
+            }
+            std::size_t row = nd;
+            for (std::size_t w = 0; w < words && row == nd; ++w) {
+                if (colWords_[w]) {
+                    row = (w << 6) + std::countr_zero(colWords_[w]);
+                }
+            }
+            if (row == nd) {
+                continue; // dependent column
+            }
+            pivRow_.push_back((uint32_t)row);
+            pivCols_.insert(pivCols_.end(), colWords_.begin(),
+                            colWords_.end());
+            pivMembers_.insert(pivMembers_.end(), memScratch_.begin(),
+                               memScratch_.end());
+            pivMemBegin_.push_back((uint32_t)pivMembers_.size());
+            // Check if the syndrome is now explainable.
+            rScratch_.assign(synWords_.begin(), synWords_.end());
+            useScratch_.assign(npiv + 1, 0);
+            for (std::size_t pi = 0; pi < npiv + 1; ++pi) {
+                std::size_t prow = pivRow_[pi];
+                if ((rScratch_[prow >> 6] >> (prow & 63)) & 1) {
+                    const uint64_t *pc = pivCols_.data() + pi * words;
+                    for (std::size_t w = 0; w < words; ++w) {
+                        rScratch_[w] ^= pc[w];
+                    }
+                    useScratch_[pi] = 1;
+                }
+            }
+            bool zero = true;
+            for (uint64_t w : rScratch_) {
+                if (w) {
+                    zero = false;
+                    break;
+                }
+            }
+            if (zero) {
+                std::fill(solUses_.begin(), solUses_.end(), 0);
+                for (std::size_t pi = 0; pi < npiv + 1; ++pi) {
+                    if (useScratch_[pi]) {
+                        for (uint32_t mi = pivMemBegin_[pi];
+                             mi < pivMemBegin_[pi + 1]; ++mi) {
+                            solUses_[pivMembers_[mi]] ^= 1;
+                        }
+                    }
+                }
+                solved = true;
+                break;
+            }
+        }
+        if (solved) {
+            for (std::size_t c = 0; c < ne; ++c) {
+                if (solUses_[c]) {
+                    result ^= colObs_[cols[c]];
+                }
+            }
+        }
+    }
+
+    // Restore the between-shot invariants: sentinel messages, zero flags,
+    // -1 local indices.
+    for (uint32_t c : cols) {
+        hard_[c] = 0;
+        for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+            msgC2d_[e] = kInactive;
+        }
+    }
+    for (uint32_t d : regionDets_) {
+        acc_[d] = 0;
+        detLocal_[d] = -1;
+    }
+    for (uint32_t d : flipped) {
+        syn_[d] = 0;
+    }
+    ok = solved;
+    return solved ? result : 0;
+}
+
+uint64_t
+BpOsdDecoder::decodeFast(const std::vector<uint32_t> &flipped)
+{
+    if (flipped.empty()) {
+        return 0;
+    }
+    // Weight-1 fast path: a syndrome exactly matching one mechanism is
+    // overwhelmingly most likely explained by it (p >> p^2).
+    auto hit = single_.find(flipped);
+    if (hit != single_.end()) {
+        return hit->second.first;
+    }
+    // Localized region: errors within regionRadius expansion layers of the
+    // flipped detectors.
+    errs_.clear();
+    touchedDets_.clear();
+    frontier_.assign(flipped.begin(), flipped.end());
+    for (uint32_t d : frontier_) {
+        detIn_[d] = 1;
+        touchedDets_.push_back(d);
+    }
+    for (std::size_t layer = 0; layer < opts_.regionRadius; ++layer) {
+        newDets_.clear();
+        for (uint32_t d : frontier_) {
+            for (uint32_t i = detBegin_[d]; i < detBegin_[d + 1]; ++i) {
+                uint32_t e = detCol_[i];
+                if (errIn_[e]) {
+                    continue;
+                }
+                errIn_[e] = 1;
+                errs_.push_back(e);
+                for (uint32_t j = colBegin_[e]; j < colBegin_[e + 1];
+                     ++j) {
+                    uint32_t dd = colDet_[j];
+                    if (!detIn_[dd]) {
+                        detIn_[dd] = 1;
+                        touchedDets_.push_back(dd);
+                        newDets_.push_back(dd);
+                    }
+                }
+            }
+        }
+        frontier_.swap(newDets_);
+        if (frontier_.empty()) {
+            break;
+        }
+    }
+    bool ok = false;
+    uint64_t result = runRegion(errs_, flipped, ok);
+    if (!ok) {
+        // Fall back to the full graph.
+        result = runRegion(allCols_, flipped, ok);
+    }
+    for (uint32_t e : errs_) {
+        errIn_[e] = 0;
+    }
+    for (uint32_t d : touchedDets_) {
+        detIn_[d] = 0;
+    }
+    return result;
+}
+
+uint64_t
+BpOsdDecoder::decode(const std::vector<uint32_t> &flipped_detectors)
+{
+    return decodeFast(flipped_detectors);
+}
+
+void
+BpOsdDecoder::decodeBatch(const sim::SampleBatch &batch, std::size_t first,
+                          std::size_t count, uint64_t *obs_out)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        std::size_t shot = first + i;
+        const uint64_t *row = batch.det.data() + shot * batch.detWords;
+        uint64_t any = 0;
+        for (std::size_t w = 0; w < batch.detWords; ++w) {
+            any |= row[w];
+        }
+        if (any == 0) {
+            obs_out[i] = 0;
+            continue;
+        }
+        batch.flippedDetectors(shot, flippedScratch_);
+        obs_out[i] = decodeFast(flippedScratch_);
     }
 }
 
@@ -263,7 +706,7 @@ BpOsdDecoder::decodeRegion(const std::vector<uint32_t> &errs,
 }
 
 uint64_t
-BpOsdDecoder::decode(const std::vector<uint32_t> &flipped_detectors)
+BpOsdDecoder::decodeReference(const std::vector<uint32_t> &flipped_detectors)
 {
     if (flipped_detectors.empty()) {
         return 0;

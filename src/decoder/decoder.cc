@@ -1,0 +1,16 @@
+#include "decoder/decoder.h"
+
+namespace prophunt::decoder {
+
+void
+Decoder::decodeBatch(const sim::SampleBatch &batch, std::size_t first,
+                     std::size_t count, uint64_t *obs_out)
+{
+    std::vector<uint32_t> flipped;
+    for (std::size_t i = 0; i < count; ++i) {
+        batch.flippedDetectors(first + i, flipped);
+        obs_out[i] = decode(flipped);
+    }
+}
+
+} // namespace prophunt::decoder

@@ -14,6 +14,8 @@
 #include <memory>
 #include <vector>
 
+#include "sim/sampler.h"
+
 namespace prophunt::decoder {
 
 /** Abstract syndrome decoder. */
@@ -29,6 +31,17 @@ class Decoder
      * @return Bit mask of predicted observable flips.
      */
     virtual uint64_t decode(const std::vector<uint32_t> &flipped_detectors) = 0;
+
+    /**
+     * Decode shots [first, first + count) of a row-layout batch.
+     *
+     * Writes one predicted observable mask per shot into @p obs_out. Must
+     * match per-shot decode() bit for bit; the default implementation loops
+     * over decode() with a reusable flipped-detector buffer, and decoders
+     * with a genuinely batched path (BP+OSD) override it.
+     */
+    virtual void decodeBatch(const sim::SampleBatch &batch, std::size_t first,
+                             std::size_t count, uint64_t *obs_out);
 
     /**
      * Independent copy for another worker thread.

@@ -8,6 +8,7 @@
 #include "decoder/bp_osd.h"
 #include "decoder/union_find.h"
 #include "sim/dem_builder.h"
+#include "sim/frame_sampler.h"
 #include "sim/parallel_sampler.h"
 #include "sim/sampler.h"
 
@@ -26,16 +27,33 @@ makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
 
 namespace {
 
-/** Sample and decode one shard; returns its failure count. */
+/** Per-worker storage reused across shards: packed frames, the transposed
+ * row batch, and the prediction buffer. */
+struct ShardWorkspace
+{
+    sim::FrameBatch frames;
+    sim::SampleBatch rows;
+    std::vector<uint64_t> predictions;
+};
+
+/**
+ * Sample and decode one shard; returns its failure count.
+ *
+ * The shard is sampled word-packed, transposed once into row layout, and
+ * decoded through decodeBatch — identical bits and predictions to the
+ * scalar per-shot path, without its per-shot allocations.
+ */
 std::size_t
 decodeShard(const sim::Dem &dem, Decoder &dec, std::size_t shard_shots,
-            uint64_t shard_seed)
+            uint64_t shard_seed, ShardWorkspace &ws)
 {
-    sim::SampleBatch batch = sim::sampleDem(dem, shard_shots, shard_seed);
+    sim::sampleDemFramesInto(dem, shard_shots, shard_seed, ws.frames);
+    sim::transposeFrames(ws.frames, ws.rows);
+    ws.predictions.resize(shard_shots);
+    dec.decodeBatch(ws.rows, 0, shard_shots, ws.predictions.data());
     std::size_t failures = 0;
     for (std::size_t s = 0; s < shard_shots; ++s) {
-        uint64_t predicted = dec.decode(batch.flippedDetectors(s));
-        if (predicted != batch.obsMask(s)) {
+        if (ws.predictions[s] != ws.rows.obsMask(s)) {
             ++failures;
         }
     }
@@ -66,6 +84,7 @@ measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
         clones.push_back(dec.clone());
     }
 
+    std::vector<ShardWorkspace> workspaces(workers);
     std::vector<std::size_t> shardFailures(n, 0);
     std::vector<uint8_t> shardDone(n, 0);
     std::atomic<bool> stop{false};
@@ -78,7 +97,8 @@ measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
         [&](std::size_t shard, std::size_t worker) {
             Decoder &d = worker == 0 ? dec : *clones[worker - 1];
             std::size_t f = decodeShard(dem, d, plan.shotsOf(shard),
-                                        sim::shardSeed(seed, shard));
+                                        sim::shardSeed(seed, shard),
+                                        workspaces[worker]);
             std::lock_guard<std::mutex> lock(prefixMutex);
             shardFailures[shard] = f;
             shardDone[shard] = 1;

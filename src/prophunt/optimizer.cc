@@ -6,53 +6,24 @@
 #include <map>
 #include <mutex>
 #include <set>
-#include <thread>
 
 #include "sim/dem_builder.h"
+#include "sim/parallel_sampler.h"
 
 namespace prophunt::core {
 
 namespace {
 
-std::size_t
-workerCount(std::size_t requested)
-{
-    if (requested > 0) {
-        return requested;
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 4 : hw;
-}
+using sim::parallelFor;
 
-/** Run fn(i) for i in [0, n) across the given number of threads. */
-template <typename Fn>
-void
-parallelFor(std::size_t n, std::size_t threads, Fn fn)
+/** Effective worker count: explicit threads, else the LER engine's knob,
+ * else hardware concurrency — one pool configuration for the pipeline. */
+std::size_t
+workerCount(const PropHuntOptions &opts)
 {
-    if (n == 0) {
-        return;
-    }
-    threads = std::min(threads, n);
-    if (threads <= 1) {
-        for (std::size_t i = 0; i < n; ++i) {
-            fn(i);
-        }
-        return;
-    }
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) {
-        pool.emplace_back([&]() {
-            for (std::size_t i = next.fetch_add(1); i < n;
-                 i = next.fetch_add(1)) {
-                fn(i);
-            }
-        });
-    }
-    for (auto &th : pool) {
-        th.join();
-    }
+    std::size_t requested =
+        opts.threads != 0 ? opts.threads : opts.ler.threads;
+    return sim::resolveThreads(requested);
 }
 
 /** Ambiguous subgraphs sampled from one DEM, deduplicated. */
@@ -100,7 +71,7 @@ PropHunt::optimize(const circuit::SmSchedule &start,
     OptimizeResult result;
     result.snapshots.push_back(start);
     circuit::SmSchedule current = start;
-    std::size_t threads = workerCount(opts_.threads);
+    std::size_t threads = workerCount(opts_);
     sim::NoiseModel noise = sim::NoiseModel::uniform(opts_.p);
     sim::Rng rng(opts_.seed);
     std::size_t stalled = 0;
@@ -272,7 +243,7 @@ estimateEffectiveDistance(const circuit::SmSchedule &schedule,
 {
     sim::NoiseModel noise = sim::NoiseModel::uniform(p);
     std::size_t best = std::numeric_limits<std::size_t>::max();
-    std::size_t threads = workerCount(0);
+    std::size_t threads = sim::resolveThreads(0);
     for (auto basis : {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
         circuit::SmCircuit circ =
             circuit::buildMemoryCircuit(schedule, rounds, basis);

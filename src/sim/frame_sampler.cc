@@ -1,0 +1,129 @@
+#include "sim/frame_sampler.h"
+
+#include <algorithm>
+
+#include "sim/event_stream.h"
+#include "sim/rng.h"
+
+namespace prophunt::sim {
+
+void
+sampleDemFramesInto(const Dem &dem, std::size_t shots, uint64_t seed,
+                    FrameBatch &out)
+{
+    out.shots = shots;
+    out.shotWords = (shots + 63) / 64;
+    out.numDetectors = dem.numDetectors;
+    out.numObservables = dem.numObservables;
+    out.det.assign(out.numDetectors * out.shotWords, 0);
+    out.obs.assign(out.numObservables * out.shotWords, 0);
+
+    Rng rng(seed);
+    for (const ErrorMechanism &mech : dem.errors) {
+        // Accumulate the mask of firing shots within one 64-shot window,
+        // then XOR the window into the signature rows a word at a time.
+        std::size_t word = 0;
+        uint64_t mask = 0;
+        auto flush = [&]() {
+            if (mask == 0) {
+                return;
+            }
+            for (uint32_t d : mech.detectors) {
+                out.det[d * out.shotWords + word] ^= mask;
+            }
+            for (uint32_t o : mech.observables) {
+                out.obs[o * out.shotWords + word] ^= mask;
+            }
+            mask = 0;
+        };
+        detail::forEachMechanismEvent(
+            mech, shots, rng, "sampleDemFrames", [&](std::size_t shot) {
+                std::size_t w = shot >> 6;
+                if (w != word) {
+                    flush();
+                    word = w;
+                }
+                mask |= uint64_t{1} << (shot & 63);
+            });
+        flush();
+    }
+}
+
+FrameBatch
+sampleDemFrames(const Dem &dem, std::size_t shots, uint64_t seed)
+{
+    FrameBatch out;
+    sampleDemFramesInto(dem, shots, seed, out);
+    return out;
+}
+
+void
+transpose64x64(uint64_t m[64])
+{
+    // Hacker's Delight recursive block swap (low-bit-first variant): at
+    // step j, swap the upper-right and lower-left j x j sub-blocks of
+    // every 2j x 2j tile.
+    uint64_t mask = 0x00000000FFFFFFFFULL;
+    for (std::size_t j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+        for (std::size_t k = 0; k < 64; k = (k + j + 1) & ~j) {
+            uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+            m[k] ^= t << j;
+            m[k + j] ^= t;
+        }
+    }
+}
+
+namespace {
+
+/**
+ * Transpose one plane (detector or observable rows) of a frame batch into
+ * row-major storage of @p row_words words per shot.
+ */
+void
+transposePlane(const uint64_t *frames, std::size_t rows,
+               std::size_t shot_words, std::size_t shots,
+               std::size_t row_words, uint64_t *out)
+{
+    uint64_t block[64];
+    for (std::size_t rb = 0; rb < row_words; ++rb) {
+        for (std::size_t w = 0; w < shot_words; ++w) {
+            for (std::size_t i = 0; i < 64; ++i) {
+                std::size_t row = rb * 64 + i;
+                block[i] = row < rows ? frames[row * shot_words + w] : 0;
+            }
+            transpose64x64(block);
+            std::size_t limit = std::min<std::size_t>(64, shots - w * 64);
+            for (std::size_t j = 0; j < limit; ++j) {
+                out[(w * 64 + j) * row_words + rb] = block[j];
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+transposeFrames(const FrameBatch &frames, std::size_t det_words,
+                std::size_t obs_words, uint64_t *det_rows,
+                uint64_t *obs_rows)
+{
+    transposePlane(frames.det.data(), frames.numDetectors, frames.shotWords,
+                   frames.shots, det_words, det_rows);
+    transposePlane(frames.obs.data(), frames.numObservables,
+                   frames.shotWords, frames.shots, obs_words, obs_rows);
+}
+
+void
+transposeFrames(const FrameBatch &frames, SampleBatch &out)
+{
+    out.shots = frames.shots;
+    out.detWords = (frames.numDetectors + 63) / 64;
+    out.obsWords =
+        (std::max<std::size_t>(frames.numObservables, 1) + 63) / 64;
+    out.det.resize(frames.shots * out.detWords);
+    out.obs.resize(frames.shots * out.obsWords);
+    transposeFrames(frames, out.detWords, out.obsWords, out.det.data(),
+                    out.obs.data());
+}
+
+} // namespace prophunt::sim

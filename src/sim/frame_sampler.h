@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Word-packed ("frame" layout) Monte-Carlo sampling.
+ *
+ * The scalar sampler stores one shot per row (shot-major); this sampler
+ * keeps 64 shots per machine word in detector-major order, the layout Stim
+ * uses for frame simulation. Sampling still iterates error mechanisms with
+ * geometric skipping, but events landing in the same 64-shot window are
+ * accumulated into one shot mask and XORed into the mechanism's detector
+ * and observable rows a whole word at a time.
+ *
+ * The packed batch is bit-identical to the scalar sampler at the same seed
+ * (both consume the RNG stream identically), so the sharded pipeline can
+ * sample packed, transpose once per shard, and hand row-layout batches to
+ * the decoders without changing any sampled bit.
+ */
+#ifndef PROPHUNT_SIM_FRAME_SAMPLER_H
+#define PROPHUNT_SIM_FRAME_SAMPLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/dem.h"
+#include "sim/sampler.h"
+
+namespace prophunt::sim {
+
+/** Bit-packed outcomes in frame layout: 64 shots per word, detector-major. */
+struct FrameBatch
+{
+    std::size_t shots = 0;
+    /** Words per detector/observable row: ceil(shots / 64). */
+    std::size_t shotWords = 0;
+    std::size_t numDetectors = 0;
+    std::size_t numObservables = 0;
+    /** det[d * shotWords + w]: shots (w*64)..(w*64+63) of detector d. */
+    std::vector<uint64_t> det;
+    /** obs[o * shotWords + w]: shots (w*64)..(w*64+63) of observable o. */
+    std::vector<uint64_t> obs;
+
+    bool
+    detBit(std::size_t d, std::size_t shot) const
+    {
+        return (det[d * shotWords + (shot >> 6)] >> (shot & 63)) & 1;
+    }
+
+    bool
+    obsBit(std::size_t o, std::size_t shot) const
+    {
+        return (obs[o * shotWords + (shot >> 6)] >> (shot & 63)) & 1;
+    }
+};
+
+/**
+ * Sample @p shots shots from @p dem into @p out, reusing its storage.
+ *
+ * RNG-stream compatible with sampleDemInto: the same (mechanism, shot)
+ * events fire at the same seed, so transposing the result reproduces the
+ * scalar row batch bit for bit.
+ */
+void sampleDemFramesInto(const Dem &dem, std::size_t shots, uint64_t seed,
+                         FrameBatch &out);
+
+/** Allocate-and-sample convenience wrapper around sampleDemFramesInto. */
+FrameBatch sampleDemFrames(const Dem &dem, std::size_t shots, uint64_t seed);
+
+/** In-place transpose of a 64x64 bit matrix (bit j of m[i] <-> bit i of
+ * m[j]). */
+void transpose64x64(uint64_t m[64]);
+
+/**
+ * Transpose a frame batch into caller-owned row storage.
+ *
+ * @p det_rows / @p obs_rows receive frames.shots rows of @p det_words /
+ * @p obs_words words; every word of every row is written (rows beyond the
+ * frame's detector/observable count read as zero), so the destination does
+ * not need to be zeroed. Row widths must satisfy
+ * det_words * 64 >= numDetectors (likewise for observables).
+ */
+void transposeFrames(const FrameBatch &frames, std::size_t det_words,
+                     std::size_t obs_words, uint64_t *det_rows,
+                     uint64_t *obs_rows);
+
+/** Transpose a frame batch into a row-layout SampleBatch, reusing its
+ * storage. */
+void transposeFrames(const FrameBatch &frames, SampleBatch &out);
+
+} // namespace prophunt::sim
+
+#endif // PROPHUNT_SIM_FRAME_SAMPLER_H

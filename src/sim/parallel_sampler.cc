@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "sim/frame_sampler.h"
+
 namespace prophunt::sim {
 
 uint64_t
@@ -91,6 +93,45 @@ forEachShard(const ShardPlan &plan, std::size_t threads,
 }
 
 void
+parallelFor(std::size_t n, std::size_t threads,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0) {
+        return;
+    }
+    std::size_t workers = std::min(resolveThreads(threads), n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto run = [&]() {
+        for (std::size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1)) {
+            fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+        pool.emplace_back(run);
+    }
+    try {
+        run();
+    } catch (...) {
+        for (std::thread &t : pool) {
+            t.join();
+        }
+        throw;
+    }
+    for (std::thread &t : pool) {
+        t.join();
+    }
+}
+
+void
 validateDemProbabilities(const Dem &dem, const char *where)
 {
     for (const ErrorMechanism &mech : dem.errors) {
@@ -114,13 +155,19 @@ sampleDemSharded(const Dem &dem, std::size_t shots, uint64_t seed,
     // Validate up front: a throw inside a worker would terminate.
     validateDemProbabilities(dem, "sampleDemSharded");
 
+    // Each shard is sampled word-packed (frame layout) and transposed into
+    // its row range; the packed sampler consumes the RNG stream exactly as
+    // the scalar one, so the batch is unchanged bit for bit.
     ShardPlan plan{shots, std::max<std::size_t>(shard_shots, 1)};
-    forEachShard(plan, threads, [&](std::size_t shard, std::size_t) {
+    std::vector<FrameBatch> scratch(shardWorkers(plan, threads));
+    forEachShard(plan, threads, [&](std::size_t shard, std::size_t worker) {
+        FrameBatch &frames = scratch[worker];
         std::size_t off = plan.offsetOf(shard);
-        sampleDemInto(dem, plan.shotsOf(shard), shardSeed(seed, shard),
-                      batch.detWords, batch.obsWords,
-                      batch.det.data() + off * batch.detWords,
-                      batch.obs.data() + off * batch.obsWords);
+        sampleDemFramesInto(dem, plan.shotsOf(shard),
+                            shardSeed(seed, shard), frames);
+        transposeFrames(frames, batch.detWords, batch.obsWords,
+                        batch.det.data() + off * batch.detWords,
+                        batch.obs.data() + off * batch.obsWords);
     });
     return batch;
 }

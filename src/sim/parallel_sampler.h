@@ -74,6 +74,17 @@ std::size_t shardWorkers(const ShardPlan &plan, std::size_t threads);
 void validateDemProbabilities(const Dem &dem, const char *where);
 
 /**
+ * Run @p fn(i) for i in [0, n) across @p threads workers.
+ *
+ * The shared work-stealing loop used by both the sampling shards and the
+ * PropHunt optimizer's candidate verification: indices are claimed from an
+ * atomic counter, @p threads = 0 means hardware concurrency, and @p fn must
+ * not throw from pool threads.
+ */
+void parallelFor(std::size_t n, std::size_t threads,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
  * Run @p fn(shard, worker) for every shard of @p plan.
  *
  * Shards are claimed from an atomic counter, so claim order is ascending;

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <bit>
-#include <cmath>
-#include <stdexcept>
 
+#include "sim/event_stream.h"
 #include "sim/rng.h"
 
 namespace prophunt::sim {
@@ -13,6 +12,15 @@ std::vector<uint32_t>
 SampleBatch::flippedDetectors(std::size_t shot) const
 {
     std::vector<uint32_t> out;
+    flippedDetectors(shot, out);
+    return out;
+}
+
+void
+SampleBatch::flippedDetectors(std::size_t shot,
+                              std::vector<uint32_t> &out) const
+{
+    out.clear();
     const uint64_t *row = det.data() + shot * detWords;
     for (std::size_t w = 0; w < detWords; ++w) {
         uint64_t bits = row[w];
@@ -21,7 +29,6 @@ SampleBatch::flippedDetectors(std::size_t shot) const
             bits &= bits - 1;
         }
     }
-    return out;
 }
 
 uint64_t
@@ -37,30 +44,17 @@ sampleDemInto(const Dem &dem, std::size_t shots, uint64_t seed,
 {
     Rng rng(seed);
     for (const ErrorMechanism &mech : dem.errors) {
-        if (mech.p <= 0.0) {
-            continue;
-        }
-        if (mech.p >= 1.0) {
-            throw std::invalid_argument("sampleDem: p >= 1");
-        }
-        double log1mp = std::log1p(-mech.p);
-        // Geometric skipping: first event at floor(log(U)/log(1-p)).
-        double u = rng.uniform();
-        std::size_t shot =
-            (std::size_t)(std::log(u <= 0 ? 1e-300 : u) / log1mp);
-        while (shot < shots) {
-            uint64_t *drow = det + shot * det_words;
-            for (uint32_t d : mech.detectors) {
-                drow[d >> 6] ^= uint64_t{1} << (d & 63);
-            }
-            uint64_t *orow = obs + shot * obs_words;
-            for (uint32_t o : mech.observables) {
-                orow[o >> 6] ^= uint64_t{1} << (o & 63);
-            }
-            u = rng.uniform();
-            shot += 1 +
-                    (std::size_t)(std::log(u <= 0 ? 1e-300 : u) / log1mp);
-        }
+        detail::forEachMechanismEvent(
+            mech, shots, rng, "sampleDem", [&](std::size_t shot) {
+                uint64_t *drow = det + shot * det_words;
+                for (uint32_t d : mech.detectors) {
+                    drow[d >> 6] ^= uint64_t{1} << (d & 63);
+                }
+                uint64_t *orow = obs + shot * obs_words;
+                for (uint32_t o : mech.observables) {
+                    orow[o >> 6] ^= uint64_t{1} << (o & 63);
+                }
+            });
     }
 }
 

@@ -42,6 +42,14 @@ struct SampleBatch
     /** Indices of flipped detectors for one shot. */
     std::vector<uint32_t> flippedDetectors(std::size_t shot) const;
 
+    /**
+     * Indices of flipped detectors for one shot, into a reusable buffer.
+     *
+     * @p out is cleared first; capacity is retained across calls, so hot
+     * loops avoid one heap allocation per shot.
+     */
+    void flippedDetectors(std::size_t shot, std::vector<uint32_t> &out) const;
+
     /** Observable flip mask (first 64 observables) for one shot. */
     uint64_t obsMask(std::size_t shot) const;
 };

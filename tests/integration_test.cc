@@ -10,6 +10,7 @@
 #include "circuit/surface_schedules.h"
 #include "code/codes.h"
 #include "code/surface.h"
+#include "decoder/bp_osd.h"
 #include "decoder/logical_error.h"
 #include "prophunt/optimizer.h"
 #include "sim/dem_builder.h"
@@ -65,11 +66,25 @@ TEST(Integration, OptimizerImprovesLdpcCode)
     core::OptimizeResult res = tool.optimize(coloration, 3);
 
     sim::NoiseModel noise = sim::NoiseModel::uniform(2e-3);
+    // Exact decoder mode (stagnationWindow = 0): keeps this ratio bound
+    // calibrated to the original decoder, independent of BP cutoff tuning.
+    decoder::BpOsdOptions exact;
+    exact.stagnationWindow = 0;
     auto ler = [&](const circuit::SmSchedule &sched) {
-        return decoder::measureMemoryLer(sched, 3, noise,
-                                         decoder::DecoderKind::BpOsd, 3000,
-                                         101)
-            .combined();
+        double ok = 1.0;
+        for (auto basis :
+             {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
+            auto circ = circuit::buildMemoryCircuit(sched, 3, basis);
+            auto dem = sim::buildDem(circ, noise);
+            decoder::BpOsdDecoder dec(dem, exact);
+            auto r = decoder::measureDemLer(
+                dem, dec, 3000,
+                101 ^ (basis == circuit::MemoryBasis::X
+                           ? 0x9e3779b97f4a7c15ULL
+                           : 0));
+            ok *= 1.0 - r.ler();
+        }
+        return 1.0 - ok;
     };
     double start = ler(coloration);
     double end = ler(res.finalSchedule());
