@@ -36,7 +36,7 @@ runVariant(const char *label, bool verify, bool min_depth)
     core::OptimizeResult res = tool.optimize(start, 5);
 
     double ler = phbench::combinedLer(res.finalSchedule(), 5, 2e-3,
-                                      decoder::DecoderKind::UnionFind,
+                                      "union_find",
                                       phbench::shots(), 909);
     std::size_t deff = core::estimateEffectiveDistance(res.finalSchedule(),
                                                        5, 1e-3, 300, 5);
@@ -73,7 +73,7 @@ main(int argc, char **argv)
     double baseline = [&] {
         code::SurfaceCode s(5);
         return phbench::combinedLer(circuit::poorSurfaceSchedule(s), 5,
-                                    2e-3, decoder::DecoderKind::UnionFind,
+                                    2e-3, "union_find",
                                     phbench::shots(), 909);
     }();
     std::printf("%-12s LER=%.5f  (unoptimized poor schedule)\n", "start",

@@ -2,18 +2,16 @@
  * @file
  * Shared helpers for the experiment harness.
  *
- * Every bench binary regenerates one table or figure of the paper. Shot
- * counts and optimization budgets default to seconds-to-minutes runtimes
- * and scale with environment variables:
+ * Every bench binary regenerates one table or figure of the paper and
+ * runs its measurements through one process-wide prophunt::api::Engine,
+ * so circuits/DEMs/decoders are cached across the (circuit, p) points of
+ * a sweep. Budgets default to seconds-to-minutes runtimes and scale with
+ * the PROPHUNT_* environment variables documented in api/config.h
+ * (PROPHUNT_SHOTS, PROPHUNT_ITERS, PROPHUNT_SAMPLES, PROPHUNT_THREADS,
+ * PROPHUNT_MAX_FAILURES, PROPHUNT_FULL, ...).
  *
- *   PROPHUNT_SHOTS  Monte-Carlo shots per (circuit, p) point (default 20000)
- *   PROPHUNT_ITERS  PropHunt iterations (default 6)
- *   PROPHUNT_SAMPLES Subgraph samples per iteration (default 200)
- *   PROPHUNT_SAT_TIMEOUT Seconds per MaxSAT solve in Table 2 (default 60)
- *   PROPHUNT_FULL   If set, include the largest codes in sweeps.
- *   PROPHUNT_THREADS LER worker threads (default 0 = hardware concurrency)
- *   PROPHUNT_MAX_FAILURES Early-stop failure target per LER run (default 0
- *                   = disabled; results stay thread-count independent)
+ * The env helpers below are thin compatibility shims over api::Config /
+ * api::env*; new code should use those directly.
  */
 #ifndef PROPHUNT_BENCH_COMMON_H
 #define PROPHUNT_BENCH_COMMON_H
@@ -23,79 +21,99 @@
 #include <memory>
 #include <string>
 
+#include "api/config.h"
+#include "api/engine.h"
 #include "circuit/coloration.h"
 #include "circuit/surface_schedules.h"
 #include "code/codes.h"
 #include "code/surface.h"
-#include "decoder/logical_error.h"
 #include "prophunt/optimizer.h"
 #include "sim/dem_builder.h"
 
 namespace phbench {
 
+/** The environment-derived configuration, read once. */
+inline const prophunt::api::Config &
+config()
+{
+    static const prophunt::api::Config cfg =
+        prophunt::api::Config::fromEnv();
+    return cfg;
+}
+
+/** Process-wide engine: one artifact cache for the whole bench run. */
+inline prophunt::api::Engine &
+engine()
+{
+    static prophunt::api::Engine e;
+    return e;
+}
+
+// --- compatibility shims (prefer api::Config / api::env*) -------------------
+
 inline std::size_t
 envSize(const char *name, std::size_t def)
 {
-    const char *v = std::getenv(name);
-    return v ? (std::size_t)std::strtoull(v, nullptr, 10) : def;
+    return prophunt::api::envSize(name, def);
 }
 
 inline double
 envDouble(const char *name, double def)
 {
-    const char *v = std::getenv(name);
-    return v ? std::strtod(v, nullptr) : def;
+    return prophunt::api::envDouble(name, def);
 }
 
 inline bool
 envFlag(const char *name)
 {
-    return std::getenv(name) != nullptr;
+    return prophunt::api::envFlag(name);
 }
 
 inline std::size_t
 shots()
 {
-    return envSize("PROPHUNT_SHOTS", 20000);
+    return config().shots;
 }
 
 /** Options for the parallel LER engine, scaled by the environment. */
 inline prophunt::decoder::LerOptions
 lerOptions()
 {
-    prophunt::decoder::LerOptions opts;
-    opts.threads = envSize("PROPHUNT_THREADS", 0);
-    opts.maxFailures = envSize("PROPHUNT_MAX_FAILURES", 0);
-    return opts;
+    return config().lerOptions();
 }
 
-/** Combined memory-Z + memory-X LER of a schedule. */
+// ---------------------------------------------------------------------------
+
+/** Combined memory-Z + memory-X LER of a schedule, through the engine. */
 inline double
 combinedLer(const prophunt::circuit::SmSchedule &sched, std::size_t rounds,
-            double p, prophunt::decoder::DecoderKind kind,
+            double p, const prophunt::decoder::DecoderSpec &decoder,
             std::size_t num_shots, uint64_t seed, double p_idle = 0.0)
 {
-    prophunt::sim::NoiseModel noise =
-        prophunt::sim::NoiseModel::withIdle(p, p_idle);
-    return prophunt::decoder::measureMemoryLer(sched, rounds, noise, kind,
-                                               num_shots, seed, lerOptions())
-        .combined();
+    prophunt::api::LerRequest req(sched);
+    req.rounds = rounds;
+    req.noise = prophunt::sim::NoiseModel::withIdle(p, p_idle);
+    req.decoder = decoder;
+    req.shots = num_shots;
+    req.seed = seed;
+    req.ler = lerOptions();
+    return engine().run(req).ler();
 }
 
 /** Decoder choice matching the paper: matching for surface, BP for LDPC. */
-inline prophunt::decoder::DecoderKind
+inline prophunt::decoder::DecoderSpec
 decoderFor(const prophunt::code::CssCode &code)
 {
     return code.name().find("surface") != std::string::npos
-               ? prophunt::decoder::DecoderKind::UnionFind
-               : prophunt::decoder::DecoderKind::BpOsd;
+               ? prophunt::decoder::DecoderSpec{"union_find"}
+               : prophunt::decoder::DecoderSpec{"bp_osd"};
 }
 
 /** LDPC decoding is slower; scale shot budgets down for BP codes. */
 inline std::size_t
 shotsFor(const prophunt::code::CssCode &code, std::size_t base)
 {
-    return decoderFor(code) == prophunt::decoder::DecoderKind::UnionFind
+    return decoderFor(code).name == "union_find"
                ? base
                : std::max<std::size_t>(500, base / 2);
 }
@@ -114,12 +132,7 @@ roundsFor(const prophunt::code::CssCode &code, std::size_t distance)
 inline prophunt::core::PropHuntOptions
 defaultOptions(uint64_t seed)
 {
-    prophunt::core::PropHuntOptions opts;
-    opts.iterations = envSize("PROPHUNT_ITERS", 6);
-    opts.samplesPerIteration = envSize("PROPHUNT_SAMPLES", 200);
-    opts.seed = seed;
-    opts.ler = lerOptions();
-    return opts;
+    return config().propHuntOptions(seed);
 }
 
 } // namespace phbench

@@ -27,18 +27,15 @@ double
 flaggedLer(const circuit::SmSchedule &sched, std::size_t rounds, double p,
            std::size_t n_shots, uint64_t seed)
 {
-    double total = 1.0;
-    for (auto basis : {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
-        auto circ =
-            circuit::buildFlaggedMemoryCircuit(sched, rounds, basis, 4);
-        sim::Dem dem = sim::buildDem(circ, sim::NoiseModel::uniform(p));
-        auto dec =
-            decoder::makeDecoder(dem, circ, decoder::DecoderKind::BpOsd);
-        auto r = decoder::measureDemLer(dem, *dec, n_shots, seed,
-                                        phbench::lerOptions());
-        total *= 1.0 - r.ler();
-    }
-    return 1.0 - total;
+    api::LerRequest req(sched);
+    req.rounds = rounds;
+    req.noise = sim::NoiseModel::uniform(p);
+    req.decoder = "bp_osd";
+    req.shots = n_shots;
+    req.seed = seed;
+    req.ler = phbench::lerOptions();
+    req.flagWeight = 4;
+    return phbench::engine().run(req).ler();
 }
 
 std::size_t
@@ -75,7 +72,7 @@ runDistance(std::size_t d)
     } rows[] = {{"poor", poor}, {"prophunt(poor start)", optimized}};
     for (const auto &[label, sched] : rows) {
         double plain = phbench::combinedLer(
-            sched, d, p, decoder::DecoderKind::BpOsd, n_shots, 71);
+            sched, d, p, "bp_osd", n_shots, 71);
         double flg = flaggedLer(sched, d, p, n_shots, 71);
         std::size_t deff =
             d == 3 ? flaggedDeff(sched, d)

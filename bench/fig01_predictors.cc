@@ -52,7 +52,7 @@ runEnsemble()
         e.depth = sched.depth();
         e.deff = core::estimateEffectiveDistance(sched, d, 1e-3, 400, 11);
         e.ler = phbench::combinedLer(sched, d, p,
-                                     decoder::DecoderKind::UnionFind,
+                                     "union_find",
                                      n_shots, 77);
         entries.push_back(e);
     }

@@ -19,7 +19,7 @@ BM_MemoryLerD3(benchmark::State &state)
     circuit::SmSchedule nz = circuit::nzSchedule(s);
     for (auto _ : state) {
         benchmark::DoNotOptimize(phbench::combinedLer(
-            nz, 3, 3e-3, decoder::DecoderKind::UnionFind, 2000, 5));
+            nz, 3, 3e-3, "union_find", 2000, 5));
     }
 }
 BENCHMARK(BM_MemoryLerD3)->Unit(benchmark::kMillisecond);
@@ -41,9 +41,9 @@ main(int argc, char **argv)
                 "ratio");
     for (double p : {1e-3, 2e-3, 4e-3, 8e-3, 1.6e-2}) {
         double lg = phbench::combinedLer(
-            good, 3, p, decoder::DecoderKind::UnionFind, n_shots, 13);
+            good, 3, p, "union_find", n_shots, 13);
         double lp = phbench::combinedLer(
-            poor, 3, p, decoder::DecoderKind::UnionFind, n_shots, 13);
+            poor, 3, p, "union_find", n_shots, 13);
         std::printf("%10.4f %14.5f %14.5f %8.2f\n", p, lg, lp,
                     lg > 0 ? lp / lg : 0.0);
     }

@@ -73,8 +73,7 @@ runCode(const CodeSpec &spec)
     std::printf("\n--- %s (rounds=%zu, decoder=%s, shots=%zu, "
                 "iterations=%zu) ---\n",
                 spec.code.name().c_str(), rounds,
-                kind == decoder::DecoderKind::UnionFind ? "union-find"
-                                                        : "bp+osd",
+                kind.name.c_str(),
                 n_shots, res.history.size());
     std::printf("depth: coloration=%zu optimized=%zu\n", start.depth(),
                 end.depth());

@@ -60,7 +60,7 @@ figure16a()
     std::vector<double> lers;
     for (const auto &snap : res.snapshots) {
         lers.push_back(phbench::combinedLer(
-            snap, 3, 2e-3, decoder::DecoderKind::UnionFind,
+            snap, 3, 2e-3, "union_find",
             phbench::shots(), 31));
     }
     double end = lers.back() > 0 ? lers.back() : 1e-6;

@@ -2,42 +2,39 @@
  * @file
  * Shared command-line plumbing for the example binaries.
  *
- * Every example accepts `--threads N` (0 = hardware concurrency, the
- * default) and forwards it to the parallel LER engine. Sharded seeding
- * makes the printed numbers identical for every thread count.
+ * Every example builds an api::Config from the environment and overlays
+ * the flags api::Config::applyArgs recognizes (`--threads N`, `--shots N`,
+ * `--max-failures N`; 0 threads = hardware concurrency, the default).
+ * Sharded seeding makes the printed numbers identical for every thread
+ * count.
  */
 #ifndef PROPHUNT_EXAMPLES_CLI_COMMON_H
 #define PROPHUNT_EXAMPLES_CLI_COMMON_H
 
-#include <cstdlib>
-#include <cstring>
-
-#include "decoder/logical_error.h"
+#include "api/config.h"
+#include "api/engine.h"
 
 namespace phcli {
 
+/** Environment configuration overlaid with recognized CLI flags. */
+inline prophunt::api::Config
+configFromArgs(int &argc, char **argv)
+{
+    prophunt::api::Config cfg = prophunt::api::Config::fromEnv();
+    cfg.applyArgs(argc, argv);
+    return cfg;
+}
+
 /**
- * Strip `--threads N` from argv (adjusting argc) and build LerOptions.
+ * Deprecated shim: strip recognized flags from argv and build LerOptions.
  *
- * Unrecognized arguments are left in place for the caller.
+ * Prefer configFromArgs; this keeps the old examples' entry point
+ * working. Unrecognized arguments are left in place for the caller.
  */
 inline prophunt::decoder::LerOptions
 lerOptionsFromArgs(int &argc, char **argv)
 {
-    prophunt::decoder::LerOptions opts;
-    opts.threads = 0; // Hardware concurrency by default.
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-            opts.threads = (std::size_t)std::strtoull(argv[i + 1], nullptr,
-                                                      10);
-            for (int j = i; j + 2 < argc; ++j) {
-                argv[j] = argv[j + 2];
-            }
-            argc -= 2;
-            break;
-        }
-    }
-    return opts;
+    return configFromArgs(argc, argv).lerOptions();
 }
 
 } // namespace phcli

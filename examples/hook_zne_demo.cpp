@@ -6,19 +6,20 @@
  *   1. Run PropHunt on a d=3 surface code with a gentle budget, keeping
  *      every intermediate schedule.
  *   2. Measure each snapshot's logical error rate — the fine-grained noise
- *      ladder Hook-ZNE exploits.
+ *      ladder Hook-ZNE exploits. The snapshot measurements are submitted
+ *      asynchronously (api::Engine::submit) and collected from futures.
  *   3. Run a logical randomized-benchmarking ZNE experiment comparing the
  *      coarse DS-ZNE distance ladder against the fine Hook-ZNE ladder
  *      under a shared shot budget, reporting the bias of each.
  */
 #include <cstdio>
+#include <future>
 #include <vector>
 
+#include "api/engine.h"
 #include "circuit/surface_schedules.h"
 #include "cli_common.h"
 #include "code/surface.h"
-#include "decoder/logical_error.h"
-#include "prophunt/optimizer.h"
 #include "zne/zne.h"
 
 using namespace prophunt;
@@ -26,32 +27,41 @@ using namespace prophunt;
 int
 main(int argc, char **argv)
 {
-    decoder::LerOptions lopts = phcli::lerOptionsFromArgs(argc, argv);
+    api::Config cfg = phcli::configFromArgs(argc, argv);
+    api::Engine engine;
+
     // Step 1: gentle PropHunt run to harvest intermediate circuits.
     code::SurfaceCode surface(3);
-    core::PropHuntOptions opts;
-    opts.iterations = 8;
-    opts.samplesPerIteration = 40;
-    opts.maxAmbiguousPerIteration = 2;
-    opts.seed = 77;
-    core::PropHunt tool(opts);
-    core::OptimizeResult res =
-        tool.optimize(circuit::poorSurfaceSchedule(surface), 3);
+    api::OptimizeRequest oreq(circuit::poorSurfaceSchedule(surface));
+    oreq.rounds = 3;
+    oreq.options.iterations = 8;
+    oreq.options.samplesPerIteration = 40;
+    oreq.options.maxAmbiguousPerIteration = 2;
+    oreq.options.seed = 77;
+    oreq.options.ler = cfg.lerOptions();
+    api::OptimizeResult res = engine.run(oreq);
+    const auto &snapshots = res.outcome.snapshots;
 
-    // Step 2: the intermediate noise ladder.
+    // Step 2: the intermediate noise ladder, submitted asynchronously.
     std::printf("Intermediate SM circuits as noise-amplification levels "
                 "(d=3, p=2e-3):\n");
     std::printf("%10s %10s %12s\n", "snapshot", "depth", "LER");
+    std::vector<std::future<api::LerResult>> futures;
+    for (const auto &snap : snapshots) {
+        api::LerRequest req(snap);
+        req.rounds = 3;
+        req.noise = sim::NoiseModel::uniform(2e-3);
+        req.decoder = "union_find";
+        req.shots = 30000;
+        req.seed = 9;
+        req.ler = cfg.lerOptions();
+        futures.push_back(engine.submit(std::move(req)));
+    }
     std::vector<double> lers;
-    for (std::size_t i = 0; i < res.snapshots.size(); ++i) {
-        double ler = decoder::measureMemoryLer(
-                         res.snapshots[i], 3,
-                         sim::NoiseModel::uniform(2e-3),
-                         decoder::DecoderKind::UnionFind, 30000, 9, lopts)
-                         .combined();
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        double ler = futures[i].get().ler();
         lers.push_back(ler);
-        std::printf("%10zu %10zu %12.5f\n", i, res.snapshots[i].depth(),
-                    ler);
+        std::printf("%10zu %10zu %12.5f\n", i, snapshots[i].depth(), ler);
     }
     std::printf("Noise scale factors relative to the optimized end:");
     for (double l : lers) {
@@ -60,19 +70,19 @@ main(int argc, char **argv)
     std::printf("\n\n");
 
     // Step 3: DS-ZNE vs Hook-ZNE bias under the paper's configuration.
-    zne::ZneConfig cfg;
-    cfg.lambdaSuppression = 2.0;
-    cfg.depth = 50;
-    cfg.totalShots = 20000;
+    zne::ZneConfig zcfg;
+    zcfg.lambdaSuppression = 2.0;
+    zcfg.depth = 50;
+    zcfg.totalShots = 20000;
     std::printf("ZNE bias comparison (Lambda=2, RB depth 50, 20000-shot "
                 "budget, 200 trials):\n");
     std::printf("%16s %12s %12s\n", "distance range", "DS-ZNE",
                 "Hook-ZNE");
     for (double dmax : {13.0, 11.0, 9.0}) {
         double ds =
-            zne::zneBias(zne::dsZneDistances(dmax), cfg, 200, 31);
+            zne::zneBias(zne::dsZneDistances(dmax), zcfg, 200, 31);
         double hook =
-            zne::zneBias(zne::hookZneDistances(dmax), cfg, 200, 31);
+            zne::zneBias(zne::hookZneDistances(dmax), zcfg, 200, 31);
         std::printf("%10.0f..%-4.0f %12.5f %12.5f\n", dmax - 6.0, dmax, ds,
                     hook);
     }

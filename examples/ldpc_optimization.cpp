@@ -7,16 +7,16 @@
  * Starting from the generic coloration circuit, PropHunt identifies and
  * resolves ambiguity, and this example prints the per-iteration telemetry
  * (found ambiguity, applied changes, effective-distance growth) together
- * with before/after logical error rates under the BP+OSD decoder.
+ * with before/after logical error rates under the BP+OSD decoder. Both
+ * the optimization and the LER scoring run through api::Engine.
  */
 #include <cstdio>
 #include <memory>
 
+#include "api/engine.h"
 #include "circuit/coloration.h"
 #include "cli_common.h"
 #include "code/codes.h"
-#include "decoder/logical_error.h"
-#include "prophunt/optimizer.h"
 
 using namespace prophunt;
 
@@ -24,7 +24,7 @@ namespace {
 
 void
 optimizeCode(const code::CssCode &code, std::size_t distance,
-             const decoder::LerOptions &lopts)
+             api::Engine &engine, const api::Config &cfg)
 {
     auto cp = std::make_shared<const code::CssCode>(code);
     circuit::SmSchedule start = circuit::colorationSchedule(cp);
@@ -40,14 +40,15 @@ optimizeCode(const code::CssCode &code, std::size_t distance,
                     return c;
                 }());
 
-    core::PropHuntOptions opts;
-    opts.iterations = 6;
-    opts.samplesPerIteration = 200;
-    opts.seed = 1234;
-    core::PropHunt tool(opts);
-    core::OptimizeResult res = tool.optimize(start, distance);
+    api::OptimizeRequest oreq(start);
+    oreq.rounds = distance;
+    oreq.options.iterations = 6;
+    oreq.options.samplesPerIteration = 200;
+    oreq.options.seed = 1234;
+    oreq.options.ler = cfg.lerOptions();
+    api::OptimizeResult res = engine.run(oreq);
 
-    for (const auto &rec : res.history) {
+    for (const auto &rec : res.outcome.history) {
         std::printf("  iter %zu: ambiguous=%-3zu candidates=%-4zu "
                     "verified=%-3zu applied=%-2zu depth=%zu",
                     rec.iteration, rec.ambiguousFound,
@@ -62,11 +63,14 @@ optimizeCode(const code::CssCode &code, std::size_t distance,
     double p = 2e-3;
     std::size_t shots = 4000;
     auto ler = [&](const circuit::SmSchedule &s) {
-        return decoder::measureMemoryLer(s, distance,
-                                         sim::NoiseModel::uniform(p),
-                                         decoder::DecoderKind::BpOsd,
-                                         shots, 55, lopts)
-            .combined();
+        api::LerRequest req(s);
+        req.rounds = distance;
+        req.noise = sim::NoiseModel::uniform(p);
+        req.decoder = "bp_osd";
+        req.shots = shots;
+        req.seed = 55;
+        req.ler = cfg.lerOptions();
+        return engine.run(req).ler();
     };
     double l0 = ler(start), l1 = ler(res.finalSchedule());
     std::printf("LER at p=%.0e: coloration=%.5f prophunt=%.5f "
@@ -79,9 +83,10 @@ optimizeCode(const code::CssCode &code, std::size_t distance,
 int
 main(int argc, char **argv)
 {
-    decoder::LerOptions lopts = phcli::lerOptionsFromArgs(argc, argv);
+    api::Config cfg = phcli::configFromArgs(argc, argv);
+    api::Engine engine;
     std::printf("PropHunt on LDPC codes without hand-designed schedules\n");
-    optimizeCode(code::benchmarkLp39(), 3, lopts);
-    optimizeCode(code::benchmarkRqt60(), 6, lopts);
+    optimizeCode(code::benchmarkLp39(), 3, engine, cfg);
+    optimizeCode(code::benchmarkRqt60(), 6, engine, cfg);
     return 0;
 }

@@ -9,17 +9,17 @@
  *
  * where <code> is one of: surface3 surface5 surface7 surface9 lp39
  * rqt60 rqt54 rqt108. Prints per-iteration telemetry and the
- * before/after logical error rates.
+ * before/after logical error rates. Everything runs through
+ * prophunt::api::Engine.
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 
+#include "api/engine.h"
 #include "circuit/coloration.h"
 #include "code/codes.h"
-#include "decoder/logical_error.h"
-#include "prophunt/optimizer.h"
 
 using namespace prophunt;
 
@@ -93,12 +93,6 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 1;
     }
-    core::PropHuntOptions opts;
-    opts.samplesPerIteration = std::strtoull(argv[2], nullptr, 10);
-    opts.iterations = std::strtoull(argv[3], nullptr, 10);
-    opts.threads = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
-    opts.ler.threads = opts.threads;
-    opts.seed = 1;
 
     code::CssCode code = spec->build();
     auto cp = std::make_shared<const code::CssCode>(code);
@@ -108,9 +102,17 @@ main(int argc, char **argv)
                 code.name().c_str(), code.n(), code.k(), code.numChecks(),
                 start.depth(), spec->distance);
 
-    core::PropHunt tool(opts);
-    core::OptimizeResult res = tool.optimize(start, spec->distance);
-    for (const auto &rec : res.history) {
+    api::Engine engine;
+    api::OptimizeRequest oreq(start);
+    oreq.rounds = spec->distance;
+    oreq.options.samplesPerIteration = std::strtoull(argv[2], nullptr, 10);
+    oreq.options.iterations = std::strtoull(argv[3], nullptr, 10);
+    oreq.options.threads =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
+    oreq.options.ler.threads = oreq.options.threads;
+    oreq.options.seed = 1;
+    api::OptimizeResult res = engine.run(oreq);
+    for (const auto &rec : res.outcome.history) {
         std::printf("iter %2zu: ambiguous=%-3zu candidates=%-4zu "
                     "verified=%-3zu applied=%-2zu depth=%zu\n",
                     rec.iteration, rec.ambiguousFound,
@@ -119,16 +121,18 @@ main(int argc, char **argv)
     }
 
     bool is_surface = std::strncmp(argv[1], "surface", 7) == 0;
-    auto kind = is_surface ? decoder::DecoderKind::UnionFind
-                           : decoder::DecoderKind::BpOsd;
+    decoder::DecoderSpec dec{is_surface ? "union_find" : "bp_osd"};
     std::size_t shots = is_surface ? 20000 : 4000;
     double p = 2e-3;
-    decoder::LerOptions lopts = opts.ler;
     auto ler = [&](const circuit::SmSchedule &s) {
-        return decoder::measureMemoryLer(s, spec->distance,
-                                         sim::NoiseModel::uniform(p), kind,
-                                         shots, 3, lopts)
-            .combined();
+        api::LerRequest req(s);
+        req.rounds = spec->distance;
+        req.noise = sim::NoiseModel::uniform(p);
+        req.decoder = dec;
+        req.shots = shots;
+        req.seed = 3;
+        req.ler = oreq.options.ler;
+        return engine.run(req).ler();
     };
     double l0 = ler(start), l1 = ler(res.finalSchedule());
     std::printf("LER @ p=%.0e: coloration=%.5f prophunt=%.5f "

@@ -2,12 +2,14 @@
  * @file
  * Quickstart: build a surface code, compare schedules, run PropHunt.
  *
- * Demonstrates the full public API surface in ~80 lines:
+ * Demonstrates the full public API surface in ~80 lines, all through the
+ * prophunt::api::Engine:
  *   1. Construct a d=3 rotated surface code.
  *   2. Build the generic coloration SM circuit and the hand-designed N-Z
- *      schedule, and measure their logical error rates.
- *   3. Run PropHunt starting from the coloration circuit and show the
- *      automatically optimized schedule recovering hand-designed quality.
+ *      schedule, and measure their logical error rates (LerRequest).
+ *   3. Run PropHunt starting from the coloration circuit
+ *      (OptimizeRequest) and show the automatically optimized schedule
+ *      recovering hand-designed quality.
  */
 #include <cstdio>
 #include <memory>
@@ -15,12 +17,11 @@
 
 #include <fstream>
 
+#include "api/engine.h"
 #include "circuit/coloration.h"
 #include "circuit/surface_schedules.h"
 #include "cli_common.h"
 #include "code/surface.h"
-#include "decoder/logical_error.h"
-#include "prophunt/optimizer.h"
 #include "sim/stim_export.h"
 
 using namespace prophunt;
@@ -28,7 +29,8 @@ using namespace prophunt;
 int
 main(int argc, char **argv)
 {
-    decoder::LerOptions lopts = phcli::lerOptionsFromArgs(argc, argv);
+    api::Config cfg = phcli::configFromArgs(argc, argv);
+    api::Engine engine;
     std::size_t d = 3;
     double p = 3e-3;
     std::size_t shots = 20000;
@@ -41,12 +43,22 @@ main(int argc, char **argv)
 
     sim::NoiseModel noise = sim::NoiseModel::uniform(p);
     auto report = [&](const char *label, const circuit::SmSchedule &s) {
-        decoder::MemoryLer ler = decoder::measureMemoryLer(
-            s, d, noise, decoder::DecoderKind::UnionFind, shots, 12345,
-            lopts);
-        std::printf("%-24s depth=%zu  LER=%.4f (Z:%.4f X:%.4f)\n", label,
-                    s.depth(), ler.combined(), ler.z.ler(), ler.x.ler());
-        return ler.combined();
+        api::LerRequest req(s);
+        req.rounds = d;
+        req.noise = noise;
+        req.decoder = "union_find";
+        req.shots = shots;
+        req.seed = 12345;
+        req.ler = cfg.lerOptions();
+        // Wall-clock telemetry (buildUs/decodeUs) stays off stdout so the
+        // printed numbers are byte-identical across runs and threads.
+        api::LerResult r = engine.run(req);
+        std::printf("%-24s depth=%zu  LER=%.4f (Z:%.4f X:%.4f)  "
+                    "[%zu shots, %zu cache hits]\n",
+                    label, s.depth(), r.ler(), r.memory.z.ler(),
+                    r.memory.x.ler(), r.telemetry.shots,
+                    r.telemetry.cacheHits);
+        return r.ler();
     };
 
     circuit::SmSchedule coloration =
@@ -59,15 +71,16 @@ main(int argc, char **argv)
     report("poor schedule", poor);
 
     std::printf("\nRunning PropHunt on the coloration circuit...\n");
-    core::PropHuntOptions opts;
-    opts.iterations = 8;
-    opts.samplesPerIteration = 200;
-    opts.p = 1e-3;
-    opts.seed = 7;
-    core::PropHunt tool(opts);
-    core::OptimizeResult result = tool.optimize(coloration, d);
+    api::OptimizeRequest oreq(coloration);
+    oreq.rounds = d;
+    oreq.options.iterations = 8;
+    oreq.options.samplesPerIteration = 200;
+    oreq.options.p = 1e-3;
+    oreq.options.seed = 7;
+    oreq.options.ler = cfg.lerOptions();
+    api::OptimizeResult result = engine.run(oreq);
 
-    for (const auto &rec : result.history) {
+    for (const auto &rec : result.outcome.history) {
         std::string w = rec.minLogicalWeight == (std::size_t)-1
                             ? "-"
                             : std::to_string(rec.minLogicalWeight);

@@ -5,18 +5,20 @@
  * For d = 3 and d = 5 rotated surface codes, compares the hand-designed
  * 'N-Z' schedule, a deliberately poor schedule, and the generic coloration
  * circuit: depth, circuit-level effective distance, and logical error rate
- * across a physical-error-rate sweep. Shows how hook-error orientation —
- * not depth — separates good from bad SM circuits (paper Sections 3-4).
+ * across a physical-error-rate sweep — the sweep runs through
+ * api::Engine::sweep, so each schedule's circuits are compiled once and
+ * reused across every p. Shows how hook-error orientation — not depth —
+ * separates good from bad SM circuits (paper Sections 3-4).
  */
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "api/engine.h"
 #include "circuit/coloration.h"
 #include "circuit/surface_schedules.h"
 #include "cli_common.h"
 #include "code/surface.h"
-#include "decoder/logical_error.h"
 #include "prophunt/optimizer.h"
 
 using namespace prophunt;
@@ -24,7 +26,7 @@ using namespace prophunt;
 namespace {
 
 void
-study(std::size_t d, const decoder::LerOptions &lopts)
+study(std::size_t d, api::Engine &engine, const api::Config &cfg)
 {
     code::SurfaceCode surface(d);
     auto cp = std::make_shared<const code::CssCode>(surface.code());
@@ -45,13 +47,16 @@ study(std::size_t d, const decoder::LerOptions &lopts)
         std::printf("%-22s %6zu %6zu", label, sched.depth(),
                     core::estimateEffectiveDistance(sched, d, 1e-3, 300,
                                                     7));
-        for (double p : ps) {
-            double ler =
-                decoder::measureMemoryLer(
-                    sched, d, sim::NoiseModel::uniform(p),
-                    decoder::DecoderKind::UnionFind, 20000, 19, lopts)
-                    .combined();
-            std::printf("  %11.5f", ler);
+        api::SweepRequest req(sched);
+        req.rounds = d;
+        req.ps = ps;
+        req.decoder = "union_find";
+        req.shotsPerPoint = 20000;
+        req.seed = 19;
+        req.ler = cfg.lerOptions();
+        api::SweepResult sweep = engine.sweep(req);
+        for (const auto &point : sweep.points) {
+            std::printf("  %11.5f", point.ler());
         }
         std::printf("\n");
     }
@@ -65,9 +70,10 @@ study(std::size_t d, const decoder::LerOptions &lopts)
 int
 main(int argc, char **argv)
 {
-    decoder::LerOptions lopts = phcli::lerOptionsFromArgs(argc, argv);
+    api::Config cfg = phcli::configFromArgs(argc, argv);
+    api::Engine engine;
     std::printf("Surface-code SM schedule study (paper Figures 1 and 6)\n");
-    study(3, lopts);
-    study(5, lopts);
+    study(3, engine, cfg);
+    study(5, engine, cfg);
     return 0;
 }

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * One configuration layer for the experiment harness.
+ *
+ * Replaces the duplicated phbench::env* helpers and phcli's hand-rolled
+ * --threads parsing: every binary builds a Config from the environment,
+ * optionally overlays command-line flags, and derives LerOptions /
+ * PropHuntOptions from it. Recognized environment variables (all
+ * optional):
+ *
+ *   PROPHUNT_SHOTS        Monte-Carlo shots per (circuit, p) point (20000)
+ *   PROPHUNT_ITERS        PropHunt iterations (6)
+ *   PROPHUNT_SAMPLES      Subgraph samples per iteration (200)
+ *   PROPHUNT_SAT_TIMEOUT  Seconds per MaxSAT solve (60)
+ *   PROPHUNT_FULL         If set, include the largest codes in sweeps
+ *   PROPHUNT_THREADS      Worker threads (0 = hardware concurrency)
+ *   PROPHUNT_MAX_FAILURES Early-stop failure target per LER run (0 = off)
+ *   PROPHUNT_ZNE_TRIALS   Trials per ZNE bias estimate (200)
+ *   PROPHUNT_BENCH_REPS   Best-of-N repetitions in timing benches (3)
+ *   PROPHUNT_BENCH_OUT    Output path for BENCH_*.json artifacts
+ */
+#ifndef PROPHUNT_API_CONFIG_H
+#define PROPHUNT_API_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "decoder/logical_error.h"
+#include "prophunt/optimizer.h"
+
+namespace prophunt::api {
+
+/** std::getenv as a size_t, with a default. */
+std::size_t envSize(const char *name, std::size_t def);
+
+/** std::getenv as a double, with a default. */
+double envDouble(const char *name, double def);
+
+/** True iff the variable is set (to anything). */
+bool envFlag(const char *name);
+
+/** Harness configuration: env defaults overlaid by CLI flags. */
+struct Config
+{
+    std::size_t shots = 20000;
+    std::size_t iterations = 6;
+    std::size_t samplesPerIteration = 200;
+    double satTimeoutSeconds = 60.0;
+    bool full = false;
+    /** Worker threads; 0 = hardware concurrency (the global default). */
+    std::size_t threads = 0;
+    std::size_t maxFailures = 0;
+    std::size_t zneTrials = 200;
+    std::size_t benchReps = 3;
+    std::string benchOut;
+
+    /** Defaults overridden by PROPHUNT_* environment variables. */
+    static Config fromEnv();
+
+    /**
+     * Strip recognized flags from argv (adjusting argc) and overlay them:
+     * --threads N, --shots N, --max-failures N. Unrecognized arguments
+     * are left in place for the caller.
+     */
+    void applyArgs(int &argc, char **argv);
+
+    /** LER-engine knobs (threads, early stop) from this configuration. */
+    decoder::LerOptions lerOptions() const;
+
+    /** Optimizer knobs sharing the same thread-pool configuration. */
+    core::PropHuntOptions propHuntOptions(uint64_t seed) const;
+};
+
+} // namespace prophunt::api
+
+#endif // PROPHUNT_API_CONFIG_H

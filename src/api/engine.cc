@@ -1,0 +1,425 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "circuit/flags.h"
+#include "circuit/sm_circuit.h"
+#include "sim/dem_builder.h"
+#include "sim/parallel_sampler.h"
+
+namespace prophunt::api {
+
+namespace {
+
+uint64_t
+now_us()
+{
+    return (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+fnv(uint64_t &h, uint64_t v)
+{
+    // FNV-1a over the value's 8 bytes.
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+}
+
+void
+fnvStr(uint64_t &h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    fnv(h, s.size());
+}
+
+/** Full schedule identity, used to verify hash-keyed cache hits. */
+bool
+sameSchedule(const circuit::SmSchedule &a, const circuit::SmSchedule &b)
+{
+    return a.code().name() == b.code().name() &&
+           a.code().n() == b.code().n() &&
+           a.code().numChecks() == b.code().numChecks() && a == b;
+}
+
+std::string
+noiseKey(const sim::NoiseModel &noise)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%.17g,%.17g,%.17g", noise.p1, noise.p2,
+                  noise.pIdle);
+    return buf;
+}
+
+} // namespace
+
+uint64_t
+hashSchedule(const circuit::SmSchedule &schedule)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    const code::CssCode &code = schedule.code();
+    fnvStr(h, code.name());
+    fnv(h, code.n());
+    fnv(h, code.k());
+    fnv(h, code.numChecks());
+    for (std::size_t c = 0; c < code.numChecks(); ++c) {
+        for (std::size_t q : code.checkSupport(c)) {
+            fnv(h, q);
+        }
+        fnv(h, 0xdeadULL); // Check separator.
+        for (std::size_t q : schedule.checkOrder(c)) {
+            fnv(h, q);
+        }
+        fnv(h, 0xbeefULL);
+    }
+    for (std::size_t q = 0; q < code.n(); ++q) {
+        for (std::size_t c : schedule.qubitOrder(q)) {
+            fnv(h, c);
+        }
+        fnv(h, 0xfeedULL);
+    }
+    return h;
+}
+
+Engine::Engine(EngineOptions opts) : opts_(opts) {}
+
+Engine::~Engine()
+{
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        stopping_ = true;
+    }
+    jobCv_.notify_all();
+    for (std::thread &w : workers_) {
+        w.join();
+    }
+}
+
+std::shared_ptr<const circuit::SmCircuit>
+Engine::circuitFor(const std::string &key,
+                   const circuit::SmSchedule &schedule, std::size_t rounds,
+                   circuit::MemoryBasis basis, std::size_t flag_weight,
+                   Telemetry &telemetry)
+{
+    if (opts_.cacheEnabled) {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        auto it = circuitCache_.find(key);
+        if (it != circuitCache_.end() &&
+            sameSchedule(it->second.schedule, schedule)) {
+            ++cacheHits_;
+            ++telemetry.cacheHits;
+            return it->second.circuit;
+        }
+    }
+    uint64_t t0 = now_us();
+    auto circuit = std::make_shared<const circuit::SmCircuit>(
+        flag_weight == 0
+            ? circuit::buildMemoryCircuit(schedule, rounds, basis)
+            : circuit::buildFlaggedMemoryCircuit(schedule, rounds, basis,
+                                                 flag_weight));
+    telemetry.buildUs += now_us() - t0;
+    ++telemetry.cacheMisses;
+    if (opts_.cacheEnabled) {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        ++cacheMisses_;
+        // A racing builder may have inserted the key meanwhile; keep the
+        // first entry so every borrower shares one artifact. A key held
+        // by a *different* schedule (64-bit hash collision) keeps its
+        // entry too — the colliding schedule just rebuilds uncached.
+        auto [it, inserted] = circuitCache_.emplace(
+            key, CircuitEntry{schedule, circuit});
+        if (inserted) {
+            circuitOrder_.push_back(key);
+            if (opts_.maxCacheEntries != 0 &&
+                circuitOrder_.size() > opts_.maxCacheEntries) {
+                circuitCache_.erase(circuitOrder_.front());
+                circuitOrder_.pop_front();
+            }
+        }
+        if (sameSchedule(it->second.schedule, schedule)) {
+            return it->second.circuit;
+        }
+    }
+    return circuit;
+}
+
+Engine::Artifact
+Engine::artifactFor(const circuit::SmSchedule &schedule, std::size_t rounds,
+                    circuit::MemoryBasis basis,
+                    const sim::NoiseModel &noise,
+                    const decoder::DecoderSpec &spec,
+                    std::size_t flag_weight, Telemetry &telemetry)
+{
+    char circuitKey[80];
+    std::snprintf(circuitKey, sizeof circuitKey, "c%016llx|r%zu|b%d|f%zu",
+                  (unsigned long long)hashSchedule(schedule), rounds,
+                  basis == circuit::MemoryBasis::Z ? 0 : 1, flag_weight);
+    std::string demKey = std::string(circuitKey) + "|n" + noiseKey(noise) +
+                         "|d" + spec.describe();
+
+    if (opts_.cacheEnabled) {
+        std::shared_ptr<const DemEntry> hit;
+        {
+            std::lock_guard<std::mutex> lock(cacheMutex_);
+            auto it = demCache_.find(demKey);
+            if (it != demCache_.end() &&
+                sameSchedule(it->second->schedule, schedule)) {
+                ++cacheHits_;
+                ++telemetry.cacheHits;
+                hit = it->second;
+            }
+        }
+        // Clone outside the lock: a BP+OSD prototype copy is large and
+        // must not serialize concurrent lookups.
+        if (hit) {
+            return {hit, hit->prototype->clone()};
+        }
+    }
+
+    auto circuit = circuitFor(circuitKey, schedule, rounds, basis,
+                              flag_weight, telemetry);
+    uint64_t t0 = now_us();
+    sim::Dem dem = sim::buildDem(*circuit, noise);
+    auto prototype = decoder::Registry::make(spec, dem, *circuit);
+    auto entry = std::make_shared<DemEntry>(
+        DemEntry{schedule, std::move(dem), std::move(prototype)});
+    telemetry.buildUs += now_us() - t0;
+    ++telemetry.cacheMisses;
+    std::shared_ptr<const DemEntry> shared = entry;
+    if (opts_.cacheEnabled) {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        ++cacheMisses_;
+        auto [it, inserted] = demCache_.emplace(demKey, shared);
+        if (inserted) {
+            demOrder_.push_back(demKey);
+            if (opts_.maxCacheEntries != 0 &&
+                demOrder_.size() > opts_.maxCacheEntries) {
+                demCache_.erase(demOrder_.front());
+                demOrder_.pop_front();
+            }
+        }
+        // On a hash collision the first entry stays; this request keeps
+        // its privately built artifacts.
+        if (sameSchedule(it->second->schedule, schedule)) {
+            shared = it->second;
+        }
+    }
+    return {shared, shared->prototype->clone()};
+}
+
+LerResult
+Engine::run(const LerRequest &req)
+{
+    LerResult out;
+    for (auto basis : {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
+        Artifact art =
+            artifactFor(req.schedule, req.rounds, basis, req.noise,
+                        req.decoder, req.flagWeight, out.telemetry);
+        uint64_t t0 = now_us();
+        decoder::LerResult r = decoder::measureDemLer(
+            art.entry->dem, *art.decoder, req.shots,
+            decoder::memoryBasisSeed(req.seed, basis), req.ler);
+        out.telemetry.decodeUs += now_us() - t0;
+        out.telemetry.shots += r.shots;
+        (basis == circuit::MemoryBasis::Z ? out.memory.z : out.memory.x) =
+            r;
+    }
+    return out;
+}
+
+SweepPointResult
+Engine::sweepPoint(const SweepRequest &req, double p)
+{
+    SweepPointResult pt;
+    pt.p = p;
+    sim::NoiseModel noise = sim::NoiseModel::withIdle(p, req.pIdle);
+
+    if (!req.sprt.enabled) {
+        LerRequest lr(req.schedule);
+        lr.rounds = req.rounds;
+        lr.noise = noise;
+        lr.decoder = req.decoder;
+        lr.shots = req.shotsPerPoint;
+        lr.seed = req.seed;
+        lr.ler = req.ler;
+        lr.flagWeight = req.flagWeight;
+        LerResult r = run(lr);
+        pt.memory = r.memory;
+        pt.telemetry = r.telemetry;
+        pt.decision = req.sprt.decisionLer > 0.0
+                          ? SprtTest::fixedDecision(r.ler(), req.sprt)
+                          : SprtDecision::None;
+        return pt;
+    }
+
+    SprtTest test(req.sprt);
+    Artifact artZ =
+        artifactFor(req.schedule, req.rounds, circuit::MemoryBasis::Z,
+                    noise, req.decoder, req.flagWeight, pt.telemetry);
+    Artifact artX =
+        artifactFor(req.schedule, req.rounds, circuit::MemoryBasis::X,
+                    noise, req.decoder, req.flagWeight, pt.telemetry);
+
+    // Chunk seeds come from their own SplitMix64 stream, so adaptive runs
+    // stay deterministic (and thread-count independent, chunk by chunk)
+    // without colliding with the fixed-budget path's shard seeds.
+    uint64_t chunkState = req.seed ^ 0xc4ceb9fe1a85ec53ULL;
+    // chunkShots = 0 would never advance `done`; treat it as 1.
+    std::size_t chunkShots =
+        std::max<std::size_t>(1, req.sprt.chunkShots);
+    std::size_t done = 0;
+    pt.decision = SprtDecision::Undecided;
+    while (done < req.shotsPerPoint) {
+        std::size_t chunk = std::min(chunkShots, req.shotsPerPoint - done);
+        uint64_t chunkSeed = sim::splitMix64(chunkState);
+        uint64_t t0 = now_us();
+        for (auto basis :
+             {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
+            Artifact &art =
+                basis == circuit::MemoryBasis::Z ? artZ : artX;
+            decoder::LerResult r = decoder::measureDemLer(
+                art.entry->dem, *art.decoder, chunk,
+                decoder::memoryBasisSeed(chunkSeed, basis), req.ler);
+            decoder::LerResult &acc = basis == circuit::MemoryBasis::Z
+                                          ? pt.memory.z
+                                          : pt.memory.x;
+            acc.shots += r.shots;
+            acc.failures += r.failures;
+        }
+        pt.telemetry.decodeUs += now_us() - t0;
+        done += chunk;
+        std::size_t trials = (pt.memory.z.shots + pt.memory.x.shots) / 2;
+        std::size_t failures =
+            pt.memory.z.failures + pt.memory.x.failures;
+        SprtDecision dec = test.evaluate(trials, failures);
+        if (dec != SprtDecision::Undecided) {
+            pt.decision = dec;
+            pt.memory.z.earlyStopped = pt.memory.x.earlyStopped =
+                done < req.shotsPerPoint;
+            break;
+        }
+    }
+    // Budget exhausted inside the indifference zone: fall back to the
+    // fixed-budget rule so adaptive and fixed sweeps agree everywhere.
+    if (pt.decision == SprtDecision::Undecided) {
+        pt.decision = SprtTest::fixedDecision(pt.ler(), req.sprt);
+    }
+    pt.telemetry.shots += pt.memory.z.shots + pt.memory.x.shots;
+    return pt;
+}
+
+SweepResult
+Engine::run(const SweepRequest &req)
+{
+    SweepResult out;
+    out.points.reserve(req.ps.size());
+    for (double p : req.ps) {
+        out.points.push_back(sweepPoint(req, p));
+        out.telemetry += out.points.back().telemetry;
+    }
+    return out;
+}
+
+OptimizeResult
+Engine::run(const OptimizeRequest &req)
+{
+    OptimizeResult out;
+    uint64_t t0 = now_us();
+    core::PropHunt tool(req.options);
+    out.outcome = tool.optimize(req.start, req.rounds);
+    // The optimizer samples/decodes internally; its whole wall time is
+    // reported as decode time.
+    out.telemetry.decodeUs += now_us() - t0;
+    return out;
+}
+
+template <class Result, class Request>
+std::future<Result>
+Engine::enqueue(Request req)
+{
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        [this, req = std::move(req)]() { return run(req); });
+    std::future<Result> future = task->get_future();
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        startWorkersLocked();
+        jobs_.push_back([task]() { (*task)(); });
+    }
+    jobCv_.notify_one();
+    return future;
+}
+
+void
+Engine::startWorkersLocked()
+{
+    if (!workers_.empty()) {
+        return;
+    }
+    std::size_t n = std::max<std::size_t>(1, opts_.asyncWorkers);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        workers_.emplace_back([this]() {
+            for (;;) {
+                std::function<void()> job;
+                {
+                    std::unique_lock<std::mutex> lock(jobMutex_);
+                    jobCv_.wait(lock, [this]() {
+                        return stopping_ || !jobs_.empty();
+                    });
+                    if (jobs_.empty()) {
+                        return; // stopping_, queue drained.
+                    }
+                    job = std::move(jobs_.front());
+                    jobs_.pop_front();
+                }
+                job();
+            }
+        });
+    }
+}
+
+std::future<LerResult>
+Engine::submit(LerRequest req)
+{
+    return enqueue<LerResult>(std::move(req));
+}
+
+std::future<SweepResult>
+Engine::submit(SweepRequest req)
+{
+    return enqueue<SweepResult>(std::move(req));
+}
+
+std::future<OptimizeResult>
+Engine::submit(OptimizeRequest req)
+{
+    return enqueue<OptimizeResult>(std::move(req));
+}
+
+Engine::CacheStats
+Engine::cacheStats() const
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    return {circuitCache_.size(), demCache_.size(), cacheHits_,
+            cacheMisses_};
+}
+
+void
+Engine::clearCache()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    circuitCache_.clear();
+    circuitOrder_.clear();
+    demCache_.clear();
+    demOrder_.clear();
+}
+
+} // namespace prophunt::api

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * prophunt::api::Engine — the one entry point for every workload.
+ *
+ * The engine serves typed requests (api/requests.h) over the existing
+ * simulation/decoding machinery, adding the production-side concerns the
+ * free functions never had:
+ *
+ *  - an artifact cache: compiled memory circuits are keyed by
+ *    (schedule hash, rounds, basis); built DEMs and decoder prototypes
+ *    additionally by (noise model, decoder spec). Sweeps and repeated
+ *    requests reuse them instead of rebuilding per point — the dominant
+ *    non-decode cost of fig06/fig12-style sweeps. Cached and uncached
+ *    runs are bit-identical: DEM construction is deterministic and
+ *    Decoder::clone() must not affect decode results.
+ *  - async submission: submit() enqueues the request onto internal
+ *    dispatcher threads and returns a std::future; each job still fans
+ *    its shots out over the shared sim::parallelFor pool.
+ *  - adaptive sweeps: Engine::sweep with SprtOptions::enabled allocates
+ *    shots across sweep points with a sequential test (api/sprt.h)
+ *    instead of a fixed per-point budget.
+ *
+ * Thread safety: all public methods may be called concurrently.
+ */
+#ifndef PROPHUNT_API_ENGINE_H
+#define PROPHUNT_API_ENGINE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/requests.h"
+
+namespace prophunt::api {
+
+/**
+ * Structural hash of a schedule: code shape (name, n, k, check supports)
+ * plus both order families. Equal schedules of equal codes hash equal
+ * across processes; used as the artifact-cache key component.
+ */
+uint64_t hashSchedule(const circuit::SmSchedule &schedule);
+
+/** Engine construction knobs. */
+struct EngineOptions
+{
+    /** Reuse compiled circuits/DEMs/decoders across requests. */
+    bool cacheEnabled = true;
+    /** FIFO capacity of each cache layer (0 = unbounded). */
+    std::size_t maxCacheEntries = 256;
+    /** Dispatcher threads draining submit()'s job queue. */
+    std::size_t asyncWorkers = 1;
+};
+
+/** The unified workload engine. */
+class Engine
+{
+  public:
+    explicit Engine(EngineOptions opts = {});
+    ~Engine();
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Measure one schedule's combined memory-Z/X LER. Bit-identical to
+     * decoder::measureMemoryLer at the same request parameters. */
+    LerResult run(const LerRequest &req);
+
+    /** Run a physical-error-rate sweep (adaptive if req.sprt.enabled). */
+    SweepResult run(const SweepRequest &req);
+
+    /** Run the PropHunt optimizer. */
+    OptimizeResult run(const OptimizeRequest &req);
+
+    /** Naming alias: sweeps read better as engine.sweep(req). */
+    SweepResult
+    sweep(const SweepRequest &req)
+    {
+        return run(req);
+    }
+
+    /** Enqueue a request onto the dispatcher pool; returns its future. */
+    std::future<LerResult> submit(LerRequest req);
+    std::future<SweepResult> submit(SweepRequest req);
+    std::future<OptimizeResult> submit(OptimizeRequest req);
+
+    struct CacheStats
+    {
+        std::size_t circuitEntries = 0;
+        std::size_t demEntries = 0;
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+    };
+    CacheStats cacheStats() const;
+    void clearCache();
+
+  private:
+    /**
+     * A compiled circuit plus the schedule it came from. Cache keys carry
+     * only a 64-bit schedule hash; the stored schedule is compared on
+     * every hit so a hash collision degrades to a rebuild, never to
+     * silently serving another schedule's artifacts.
+     */
+    struct CircuitEntry
+    {
+        circuit::SmSchedule schedule;
+        std::shared_ptr<const circuit::SmCircuit> circuit;
+    };
+
+    /** A built DEM plus the decoder prototype runs clone from. */
+    struct DemEntry
+    {
+        circuit::SmSchedule schedule;
+        sim::Dem dem;
+        std::unique_ptr<decoder::Decoder> prototype;
+    };
+
+    /** What one measurement borrows: the shared DEM entry and a private
+     * decoder clone. */
+    struct Artifact
+    {
+        std::shared_ptr<const DemEntry> entry;
+        std::unique_ptr<decoder::Decoder> decoder;
+    };
+
+    std::shared_ptr<const circuit::SmCircuit>
+    circuitFor(const std::string &key, const circuit::SmSchedule &schedule,
+               std::size_t rounds, circuit::MemoryBasis basis,
+               std::size_t flag_weight, Telemetry &telemetry);
+
+    Artifact artifactFor(const circuit::SmSchedule &schedule,
+                         std::size_t rounds, circuit::MemoryBasis basis,
+                         const sim::NoiseModel &noise,
+                         const decoder::DecoderSpec &spec,
+                         std::size_t flag_weight, Telemetry &telemetry);
+
+    SweepPointResult sweepPoint(const SweepRequest &req, double p);
+
+    template <class Result, class Request>
+    std::future<Result> enqueue(Request req);
+    void startWorkersLocked();
+
+    EngineOptions opts_;
+
+    mutable std::mutex cacheMutex_;
+    std::map<std::string, CircuitEntry> circuitCache_;
+    std::deque<std::string> circuitOrder_;
+    std::map<std::string, std::shared_ptr<const DemEntry>> demCache_;
+    std::deque<std::string> demOrder_;
+    std::size_t cacheHits_ = 0;
+    std::size_t cacheMisses_ = 0;
+
+    std::mutex jobMutex_;
+    std::condition_variable jobCv_;
+    std::deque<std::function<void()>> jobs_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace prophunt::api
+
+#endif // PROPHUNT_API_ENGINE_H

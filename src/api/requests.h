@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Typed request/response structs of the prophunt::api engine.
+ *
+ * One struct per workload kind, replacing the seed's positional-argument
+ * free functions. Every result carries Telemetry (build/decode timings,
+ * cache hits, shots) so callers — and future regression benches — can
+ * observe where the time went without instrumenting the engine.
+ */
+#ifndef PROPHUNT_API_REQUESTS_H
+#define PROPHUNT_API_REQUESTS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "api/sprt.h"
+#include "circuit/schedule.h"
+#include "decoder/logical_error.h"
+#include "decoder/registry.h"
+#include "prophunt/optimizer.h"
+#include "sim/noise_model.h"
+
+namespace prophunt::api {
+
+/** Per-request timing and cache telemetry. */
+struct Telemetry
+{
+    /** Microseconds spent building artifacts (circuits, DEMs, decoder
+     * prototypes) on cache misses. */
+    uint64_t buildUs = 0;
+    /** Microseconds spent sampling + decoding. */
+    uint64_t decodeUs = 0;
+    /** Artifact-cache hits / misses while serving the request. */
+    std::size_t cacheHits = 0;
+    std::size_t cacheMisses = 0;
+    /** Total shots actually sampled (both bases). */
+    std::size_t shots = 0;
+
+    Telemetry &
+    operator+=(const Telemetry &o)
+    {
+        buildUs += o.buildUs;
+        decodeUs += o.decodeUs;
+        cacheHits += o.cacheHits;
+        cacheMisses += o.cacheMisses;
+        shots += o.shots;
+        return *this;
+    }
+};
+
+/** One logical-error-rate measurement of a schedule. */
+struct LerRequest
+{
+    circuit::SmSchedule schedule;
+    /** Memory-experiment rounds (typically the code distance). */
+    std::size_t rounds = 1;
+    sim::NoiseModel noise;
+    decoder::DecoderSpec decoder;
+    /** Shots per memory basis. */
+    std::size_t shots = 20000;
+    uint64_t seed = 1;
+    decoder::LerOptions ler;
+    /**
+     * 0 = plain memory circuit; otherwise augment the schedule with flag
+     * qubits (circuit::buildFlaggedMemoryCircuit) of at least this check
+     * weight — the Section 8 flag-fault-tolerance extension study.
+     */
+    std::size_t flagWeight = 0;
+
+    explicit LerRequest(circuit::SmSchedule s) : schedule(std::move(s)) {}
+};
+
+struct LerResult
+{
+    decoder::MemoryLer memory;
+    Telemetry telemetry;
+
+    /** Combined P(any logical error). */
+    double
+    ler() const
+    {
+        return memory.combined();
+    }
+};
+
+/**
+ * A physical-error-rate sweep of one schedule.
+ *
+ * The engine reuses the compiled circuits across all points (the DEM and
+ * decoder are per-noise) and, with sprt.enabled, allocates shots
+ * adaptively: each point stops as soon as the sequential test decides
+ * its LER against sprt.decisionLer.
+ */
+struct SweepRequest
+{
+    circuit::SmSchedule schedule;
+    std::size_t rounds = 1;
+    /** Gate error rates to sweep. */
+    std::vector<double> ps;
+    /** Per-CNOT-layer idle error strength applied at every point. */
+    double pIdle = 0.0;
+    decoder::DecoderSpec decoder;
+    /** Shot budget per basis per point (SPRT may stop earlier). */
+    std::size_t shotsPerPoint = 20000;
+    uint64_t seed = 1;
+    decoder::LerOptions ler;
+    SprtOptions sprt;
+    /** As LerRequest::flagWeight. */
+    std::size_t flagWeight = 0;
+
+    explicit SweepRequest(circuit::SmSchedule s) : schedule(std::move(s)) {}
+};
+
+struct SweepPointResult
+{
+    double p = 0.0;
+    decoder::MemoryLer memory;
+    /** Sequential-test outcome (None when no threshold was given). */
+    SprtDecision decision = SprtDecision::None;
+    Telemetry telemetry;
+
+    double
+    ler() const
+    {
+        return memory.combined();
+    }
+};
+
+struct SweepResult
+{
+    std::vector<SweepPointResult> points;
+    Telemetry telemetry;
+
+    /** Total shots sampled across all points and bases. */
+    std::size_t
+    totalShots() const
+    {
+        return telemetry.shots;
+    }
+};
+
+/** A PropHunt optimization run. */
+struct OptimizeRequest
+{
+    circuit::SmSchedule start;
+    std::size_t rounds = 1;
+    core::PropHuntOptions options;
+
+    explicit OptimizeRequest(circuit::SmSchedule s) : start(std::move(s)) {}
+};
+
+struct OptimizeResult
+{
+    core::OptimizeResult outcome;
+    Telemetry telemetry;
+
+    const circuit::SmSchedule &
+    finalSchedule() const
+    {
+        return outcome.finalSchedule();
+    }
+};
+
+} // namespace prophunt::api
+
+#endif // PROPHUNT_API_REQUESTS_H

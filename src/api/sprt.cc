@@ -1,0 +1,79 @@
+#include "api/sprt.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prophunt::api {
+
+const char *
+toString(SprtDecision decision)
+{
+    switch (decision) {
+    case SprtDecision::None:
+        return "none";
+    case SprtDecision::Below:
+        return "below";
+    case SprtDecision::Above:
+        return "above";
+    case SprtDecision::Undecided:
+        return "undecided";
+    }
+    return "?";
+}
+
+SprtTest::SprtTest(const SprtOptions &opts) : opts_(opts)
+{
+    if (opts.margin <= 1.0) {
+        throw std::invalid_argument("SprtOptions::margin must be > 1");
+    }
+    double p0 = opts.decisionLer / opts.margin;
+    double p1 = opts.decisionLer * opts.margin;
+    if (!(p0 > 0.0) || !(p1 < 1.0)) {
+        throw std::invalid_argument(
+            "SprtOptions::decisionLer must lie in (0, 1/margin)");
+    }
+    if (!(opts.alpha > 0.0 && opts.alpha < 1.0) ||
+        !(opts.beta > 0.0 && opts.beta < 1.0)) {
+        throw std::invalid_argument(
+            "SprtOptions::alpha/beta must lie in (0, 1)");
+    }
+    llrFailure_ = std::log(p1 / p0);
+    llrSuccess_ = std::log((1.0 - p1) / (1.0 - p0));
+    upper_ = std::log((1.0 - opts.beta) / opts.alpha);
+    lower_ = std::log(opts.beta / (1.0 - opts.alpha));
+}
+
+SprtDecision
+SprtTest::evaluate(std::size_t trials, std::size_t failures) const
+{
+    if (trials < opts_.minShots) {
+        return SprtDecision::Undecided;
+    }
+    // The engine counts one trial per basis *pair* but sums failures over
+    // both bases, so failures can exceed trials when per-basis rates are
+    // extreme; an observed rate >= 1 is above any threshold p1 < 1.
+    if (failures >= trials) {
+        return SprtDecision::Above;
+    }
+    double llr = (double)failures * llrFailure_ +
+                 (double)(trials - failures) * llrSuccess_;
+    if (llr >= upper_) {
+        return SprtDecision::Above;
+    }
+    if (llr <= lower_) {
+        return SprtDecision::Below;
+    }
+    return SprtDecision::Undecided;
+}
+
+SprtDecision
+SprtTest::fixedDecision(double ler, const SprtOptions &opts)
+{
+    if (opts.decisionLer <= 0.0) {
+        return SprtDecision::None;
+    }
+    return ler >= opts.decisionLer ? SprtDecision::Above
+                                   : SprtDecision::Below;
+}
+
+} // namespace prophunt::api

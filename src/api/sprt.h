@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Wald sequential probability ratio test (SPRT) on logical error rates.
+ *
+ * The ROADMAP's adaptive early-stopping policy: instead of burning a
+ * fixed shot budget at every (circuit, p) sweep point, the engine samples
+ * in chunks and stops a point as soon as the sequential test decides
+ * whether its LER lies above or below a decision threshold. Points far
+ * from the threshold resolve in a few chunks; only points inside the
+ * indifference zone consume the full budget, where the decision falls
+ * back to the fixed-budget point-estimate rule — so SPRT sweeps reach the
+ * same decisions with (usually far) fewer total shots.
+ *
+ * The test treats the memory experiment's combined failure stream as
+ * binomial: one trial = one shot in each basis, failure count = Z
+ * failures + X failures. For the small per-basis rates of interest the
+ * combined LER 1-(1-p_z)(1-p_x) is p_z + p_x up to O(p^2), which is well
+ * inside the indifference zone of any sensible margin.
+ */
+#ifndef PROPHUNT_API_SPRT_H
+#define PROPHUNT_API_SPRT_H
+
+#include <cstddef>
+
+namespace prophunt::api {
+
+/** Sequential-test configuration for adaptive sweeps. */
+struct SprtOptions
+{
+    /** Off by default: sweeps use the fixed shot budget. */
+    bool enabled = false;
+    /**
+     * The LER threshold the sweep decides against. The test separates
+     * H_below: LER <= decisionLer / margin from
+     * H_above: LER >= decisionLer * margin.
+     */
+    double decisionLer = 0.0;
+    /** Indifference-zone half-width factor (must be > 1). */
+    double margin = 2.0;
+    /** Allowed probability of a false "above" decision. */
+    double alpha = 1e-3;
+    /** Allowed probability of a false "below" decision. */
+    double beta = 1e-3;
+    /** Shots per basis sampled between sequential-bound checks. */
+    std::size_t chunkShots = 1024;
+    /** Trials required before the first bound check. */
+    std::size_t minShots = 256;
+};
+
+/** Outcome of the sequential test for one sweep point. */
+enum class SprtDecision
+{
+    None,      ///< SPRT disabled (fixed-budget run, no threshold given).
+    Below,     ///< LER decided below the threshold.
+    Above,     ///< LER decided above the threshold.
+    Undecided, ///< Budget exhausted inside the indifference zone.
+};
+
+const char *toString(SprtDecision decision);
+
+/**
+ * The running test: feed cumulative (trials, failures), read the
+ * decision once a Wald bound is crossed.
+ */
+class SprtTest
+{
+  public:
+    /** Throws std::invalid_argument for nonsensical options (margin <= 1,
+     * decisionLer outside (0, 1/margin), alpha/beta outside (0, 1)). */
+    explicit SprtTest(const SprtOptions &opts);
+
+    /**
+     * Evaluate the bounds at cumulative counts.
+     *
+     * @param trials Total trials so far.
+     * @param failures Total failures so far.
+     * @return Below / Above once a bound is crossed, else Undecided.
+     */
+    SprtDecision evaluate(std::size_t trials, std::size_t failures) const;
+
+    /**
+     * The fixed-budget decision rule: point estimate vs threshold. Used
+     * for non-SPRT runs and as the fallback when the budget runs out
+     * undecided, so adaptive and fixed sweeps agree on every point that
+     * either rule can classify.
+     */
+    static SprtDecision fixedDecision(double ler, const SprtOptions &opts);
+
+  private:
+    SprtOptions opts_;
+    double llrFailure_ = 0.0; ///< Log-likelihood-ratio step per failure.
+    double llrSuccess_ = 0.0; ///< Step per success.
+    double upper_ = 0.0;      ///< Accept H_above at LLR >= upper_.
+    double lower_ = 0.0;      ///< Accept H_below at LLR <= lower_.
+};
+
+} // namespace prophunt::api
+
+#endif // PROPHUNT_API_SPRT_H

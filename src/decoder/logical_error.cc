@@ -5,8 +5,6 @@
 #include <mutex>
 #include <vector>
 
-#include "decoder/bp_osd.h"
-#include "decoder/union_find.h"
 #include "sim/dem_builder.h"
 #include "sim/frame_sampler.h"
 #include "sim/parallel_sampler.h"
@@ -14,15 +12,24 @@
 
 namespace prophunt::decoder {
 
+const char *
+decoderName(DecoderKind kind)
+{
+    return kind == DecoderKind::UnionFind ? "union_find" : "bp_osd";
+}
+
+std::unique_ptr<Decoder>
+makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
+            const DecoderSpec &spec)
+{
+    return Registry::make(spec, dem, circuit);
+}
+
 std::unique_ptr<Decoder>
 makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
             DecoderKind kind)
 {
-    if (kind == DecoderKind::UnionFind) {
-        return std::make_unique<UnionFindDecoder>(
-            buildMatchingGraph(dem, circuit));
-    }
-    return std::make_unique<BpOsdDecoder>(dem);
+    return makeDecoder(dem, circuit, DecoderSpec{decoderName(kind)});
 }
 
 namespace {
@@ -140,9 +147,16 @@ measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
     return measureDemLer(dem, dec, shots, seed, LerOptions{});
 }
 
+uint64_t
+memoryBasisSeed(uint64_t seed, circuit::MemoryBasis basis)
+{
+    return seed ^
+           (basis == circuit::MemoryBasis::X ? 0x9e3779b97f4a7c15ULL : 0);
+}
+
 MemoryLer
 measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
-                 const sim::NoiseModel &noise, DecoderKind kind,
+                 const sim::NoiseModel &noise, const DecoderSpec &spec,
                  std::size_t shots, uint64_t seed, const LerOptions &opts)
 {
     MemoryLer out;
@@ -150,12 +164,9 @@ measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
         circuit::SmCircuit circ =
             circuit::buildMemoryCircuit(schedule, rounds, basis);
         sim::Dem dem = sim::buildDem(circ, noise);
-        auto dec = makeDecoder(dem, circ, kind);
+        auto dec = makeDecoder(dem, circ, spec);
         LerResult r = measureDemLer(dem, *dec, shots,
-                                    seed ^ (basis == circuit::MemoryBasis::X
-                                                ? 0x9e3779b97f4a7c15ULL
-                                                : 0),
-                                    opts);
+                                    memoryBasisSeed(seed, basis), opts);
         (basis == circuit::MemoryBasis::Z ? out.z : out.x) = r;
     }
     return out;
@@ -163,10 +174,30 @@ measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
 
 MemoryLer
 measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
+                 const sim::NoiseModel &noise, const DecoderSpec &spec,
+                 std::size_t shots, uint64_t seed)
+{
+    return measureMemoryLer(schedule, rounds, noise, spec, shots, seed,
+                            LerOptions{});
+}
+
+MemoryLer
+measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
+                 const sim::NoiseModel &noise, DecoderKind kind,
+                 std::size_t shots, uint64_t seed, const LerOptions &opts)
+{
+    return measureMemoryLer(schedule, rounds, noise,
+                            DecoderSpec{decoderName(kind)}, shots, seed,
+                            opts);
+}
+
+MemoryLer
+measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
                  const sim::NoiseModel &noise, DecoderKind kind,
                  std::size_t shots, uint64_t seed)
 {
-    return measureMemoryLer(schedule, rounds, noise, kind, shots, seed,
+    return measureMemoryLer(schedule, rounds, noise,
+                            DecoderSpec{decoderName(kind)}, shots, seed,
                             LerOptions{});
 }
 

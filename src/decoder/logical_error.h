@@ -16,20 +16,35 @@
 #include "circuit/schedule.h"
 #include "circuit/sm_circuit.h"
 #include "decoder/decoder.h"
+#include "decoder/registry.h"
 #include "sim/dem.h"
 #include "sim/noise_model.h"
 #include "sim/parallel_sampler.h"
 
 namespace prophunt::decoder {
 
-/** Decoder selection for LER measurements. */
+/**
+ * Decoder selection for LER measurements.
+ *
+ * Deprecated compatibility alias over registry names: new code should
+ * pass a DecoderSpec ("union_find", "bp_osd", ...) instead; see
+ * decoder/registry.h.
+ */
 enum class DecoderKind
 {
     UnionFind, ///< Matching decoder, for surface codes.
     BpOsd,     ///< LDPC decoder, for LP/RQT codes.
 };
 
-/** Build the appropriate decoder for a DEM. */
+/** Registry name of a legacy DecoderKind value. */
+const char *decoderName(DecoderKind kind);
+
+/** Build a decoder for a DEM through the registry. */
+std::unique_ptr<Decoder> makeDecoder(const sim::Dem &dem,
+                                     const circuit::SmCircuit &circuit,
+                                     const DecoderSpec &spec);
+
+/** Deprecated: DecoderKind compatibility overload. */
 std::unique_ptr<Decoder> makeDecoder(const sim::Dem &dem,
                                      const circuit::SmCircuit &circuit,
                                      DecoderKind kind);
@@ -52,8 +67,8 @@ struct LerResult
 /** Knobs for the parallel Monte-Carlo LER engine. */
 struct LerOptions
 {
-    /** Worker threads; 0 means hardware concurrency. */
-    std::size_t threads = 1;
+    /** Worker threads; 0 (the default) means hardware concurrency. */
+    std::size_t threads = 0;
     /**
      * Stop once this many failures were seen (0 disables).
      *
@@ -96,16 +111,38 @@ struct MemoryLer
 };
 
 /**
+ * Per-basis master seed of a memory experiment.
+ *
+ * measureMemoryLer and api::Engine both derive the Z/X sampling seeds
+ * through this function, so their results are bit-identical at a fixed
+ * request seed.
+ */
+uint64_t memoryBasisSeed(uint64_t seed, circuit::MemoryBasis basis);
+
+/**
  * Measure the combined LER of a schedule over @p rounds rounds.
  *
- * Runs both memory bases with @p shots shots each.
+ * Runs both memory bases with @p shots shots each; the decoder is built
+ * through the registry from @p spec. Workloads that repeat (schedule, p)
+ * points should prefer api::Engine, which caches the per-basis circuit,
+ * DEM, and decoder this function rebuilds on every call.
  */
+MemoryLer measureMemoryLer(const circuit::SmSchedule &schedule,
+                           std::size_t rounds, const sim::NoiseModel &noise,
+                           const DecoderSpec &spec, std::size_t shots,
+                           uint64_t seed, const LerOptions &opts);
+
+/** No-early-stop convenience overload. */
+MemoryLer measureMemoryLer(const circuit::SmSchedule &schedule,
+                           std::size_t rounds, const sim::NoiseModel &noise,
+                           const DecoderSpec &spec, std::size_t shots,
+                           uint64_t seed);
+
+/** Deprecated: DecoderKind compatibility overloads. */
 MemoryLer measureMemoryLer(const circuit::SmSchedule &schedule,
                            std::size_t rounds, const sim::NoiseModel &noise,
                            DecoderKind kind, std::size_t shots, uint64_t seed,
                            const LerOptions &opts);
-
-/** Single-thread, no-early-stop convenience overload. */
 MemoryLer measureMemoryLer(const circuit::SmSchedule &schedule,
                            std::size_t rounds, const sim::NoiseModel &noise,
                            DecoderKind kind, std::size_t shots,

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * String-keyed decoder registry.
+ *
+ * Decoders are constructed by name through `Registry::make("bp_osd", ...)`
+ * with per-backend options structs, so new backends (matching variants,
+ * future SIMD min-sum lanes, external decoders) plug in without touching
+ * call sites. This subsumes the old closed `DecoderKind` enum, which
+ * remains only as a deprecated alias over registry names.
+ */
+#ifndef PROPHUNT_DECODER_REGISTRY_H
+#define PROPHUNT_DECODER_REGISTRY_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "circuit/sm_circuit.h"
+#include "decoder/bp_osd.h"
+#include "decoder/decoder.h"
+#include "sim/dem.h"
+
+namespace prophunt::decoder {
+
+/** Options for the union-find matching decoder (currently none). */
+struct UnionFindOptions
+{
+};
+
+/** Options for the brute-force MLE decoder. */
+struct MleOptions
+{
+    /** Largest error-set size considered in the exhaustive search. */
+    std::size_t maxWeight = 6;
+};
+
+/**
+ * Per-decoder options, one alternative per backend.
+ *
+ * `std::monostate` means "backend defaults". Passing the wrong
+ * alternative for a backend is an error (std::invalid_argument), not a
+ * silent fallback.
+ */
+using DecoderOptions =
+    std::variant<std::monostate, UnionFindOptions, BpOsdOptions, MleOptions>;
+
+/** A decoder selection: registry name plus backend options. */
+struct DecoderSpec
+{
+    std::string name = "union_find";
+    DecoderOptions options{};
+
+    DecoderSpec() = default;
+    DecoderSpec(std::string n) : name(std::move(n)) {}
+    DecoderSpec(const char *n) : name(n) {}
+    DecoderSpec(std::string n, DecoderOptions o)
+        : name(std::move(n)), options(std::move(o))
+    {
+    }
+
+    /**
+     * Stable human-readable key: name plus every option field. Two specs
+     * with equal describe() strings construct identical decoders, which is
+     * what the engine's artifact cache keys on.
+     */
+    std::string describe() const;
+};
+
+/**
+ * The process-wide decoder registry.
+ *
+ * Built-in backends are registered on first access:
+ *
+ *   "union_find"  matching decoder for surface-like DEMs (alias "matching")
+ *   "bp_osd"      BP+OSD decoder for LDPC DEMs
+ *   "mle"         exhaustive most-likely-error decoder (test oracle)
+ *
+ * `add()` lets extensions register further backends at runtime.
+ */
+class Registry
+{
+  public:
+    /**
+     * Build one decoder instance for @p dem.
+     *
+     * @param circuit Source circuit; provides the detector -> check-sector
+     * labels the matching-graph construction needs.
+     */
+    using Factory = std::function<std::unique_ptr<Decoder>(
+        const sim::Dem &dem, const circuit::SmCircuit &circuit,
+        const DecoderOptions &opts)>;
+
+    /** The singleton instance (built-ins registered). */
+    static Registry &instance();
+
+    /** Register @p factory under @p name; replaces an existing entry. */
+    void add(const std::string &name, Factory factory);
+
+    bool has(const std::string &name) const;
+
+    /** Registered names, sorted (aliases included). */
+    std::vector<std::string> names() const;
+
+    /** Construct by spec; throws std::invalid_argument for unknown names
+     * or mismatched options. */
+    std::unique_ptr<Decoder> create(const DecoderSpec &spec,
+                                    const sim::Dem &dem,
+                                    const circuit::SmCircuit &circuit) const;
+
+    /** Convenience: Registry::instance().create(spec, dem, circuit). */
+    static std::unique_ptr<Decoder> make(const DecoderSpec &spec,
+                                         const sim::Dem &dem,
+                                         const circuit::SmCircuit &circuit);
+
+  private:
+    Registry();
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Factory> factories_;
+};
+
+} // namespace prophunt::decoder
+
+#endif // PROPHUNT_DECODER_REGISTRY_H

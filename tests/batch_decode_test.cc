@@ -119,7 +119,7 @@ TEST(BatchDecode, UnionFindBatchEqualsDecode)
                                             3, circuit::MemoryBasis::Z);
     Dem dem = buildDem(circ, NoiseModel::uniform(5e-3));
     auto dec = decoder::makeDecoder(dem, circ,
-                                    decoder::DecoderKind::UnionFind);
+                                    "union_find");
     SampleBatch batch = sampleDem(dem, 600, 23);
     expectBatchEqualsLoop(*dec, batch);
 }

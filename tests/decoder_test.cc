@@ -152,7 +152,7 @@ TEST(LogicalError, LerDecreasesWithPhysicalRate)
     circuit::SmSchedule nz = circuit::nzSchedule(s);
     auto at = [&](double p) {
         return measureMemoryLer(nz, 3, sim::NoiseModel::uniform(p),
-                                DecoderKind::UnionFind, 20000, 17)
+                                "union_find", 20000, 17)
             .combined();
     };
     double high = at(8e-3), low = at(1e-3);
@@ -166,7 +166,7 @@ TEST(LogicalError, DistanceSuppressesLer)
         code::SurfaceCode s(d);
         return measureMemoryLer(circuit::nzSchedule(s), d,
                                 sim::NoiseModel::uniform(3e-3),
-                                DecoderKind::UnionFind, 10000, 23)
+                                "union_find", 10000, 23)
             .combined();
     };
     // Below threshold, d=5 beats d=3.
@@ -178,11 +178,11 @@ TEST(LogicalError, NzBeatsPoorSchedule)
     code::SurfaceCode s(5);
     double nz = measureMemoryLer(circuit::nzSchedule(s), 5,
                                  sim::NoiseModel::uniform(3e-3),
-                                 DecoderKind::UnionFind, 8000, 31)
+                                 "union_find", 8000, 31)
                     .combined();
     double poor = measureMemoryLer(circuit::poorSurfaceSchedule(s), 5,
                                    sim::NoiseModel::uniform(3e-3),
-                                   DecoderKind::UnionFind, 8000, 31)
+                                   "union_find", 8000, 31)
                       .combined();
     EXPECT_LT(nz, poor);
 }
@@ -194,7 +194,7 @@ TEST(LogicalError, BpOsdHandlesLdpcCode)
     circuit::SmSchedule sched = circuit::colorationSchedule(cp);
     decoder::MemoryLer ler =
         measureMemoryLer(sched, 3, sim::NoiseModel::uniform(1e-3),
-                         DecoderKind::BpOsd, 2000, 41);
+                         "bp_osd", 2000, 41);
     // Sanity: decodes most shots correctly at this rate.
     EXPECT_LT(ler.combined(), 0.25);
 }

@@ -40,7 +40,7 @@ d3Decoder(const Dem &dem)
     auto cp = std::make_shared<const code::CssCode>(s.code());
     auto circ = circuit::buildMemoryCircuit(circuit::colorationSchedule(cp),
                                             3, circuit::MemoryBasis::Z);
-    return decoder::makeDecoder(dem, circ, decoder::DecoderKind::UnionFind);
+    return decoder::makeDecoder(dem, circ, "union_find");
 }
 
 } // namespace
@@ -195,10 +195,10 @@ TEST(ParallelLer, MemoryLerThreadCountIndependent)
     decoder::LerOptions four = one;
     four.threads = 4;
     auto a = decoder::measureMemoryLer(sched, 3, NoiseModel::uniform(3e-3),
-                                       decoder::DecoderKind::UnionFind, 4000,
+                                       "union_find", 4000,
                                        11, one);
     auto b = decoder::measureMemoryLer(sched, 3, NoiseModel::uniform(3e-3),
-                                       decoder::DecoderKind::UnionFind, 4000,
+                                       "union_find", 4000,
                                        11, four);
     EXPECT_EQ(a.z.failures, b.z.failures);
     EXPECT_EQ(a.x.failures, b.x.failures);

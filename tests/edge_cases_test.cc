@@ -153,6 +153,7 @@ TEST(OptimizerAblation, NoVerifyStillProducesValidSchedules)
     opts.samplesPerIteration = 100;
     opts.verifyAmbiguityRemoval = false;
     opts.seed = 41;
+    opts.threads = 1; // One sampling worker: machine-independent trajectory.
     core::PropHunt tool(opts);
     core::OptimizeResult res =
         tool.optimize(circuit::poorSurfaceSchedule(s), 3);
@@ -169,6 +170,7 @@ TEST(OptimizerAblation, VerificationPrunesMoreThanValidityAlone)
         opts.samplesPerIteration = 100;
         opts.verifyAmbiguityRemoval = verify;
         opts.seed = 43;
+        opts.threads = 1; // One sampling worker: machine-independent trajectory.
         core::PropHunt tool(opts);
         core::OptimizeResult res =
             tool.optimize(circuit::poorSurfaceSchedule(s), 3);

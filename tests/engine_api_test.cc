@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Tests for the prophunt::api engine surface: decoder registry
+ * round-trips, artifact-cache determinism, async submission, the
+ * api::Config layer, and SPRT adaptive sweeps.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+
+#include "api/config.h"
+#include "api/engine.h"
+#include "api/sprt.h"
+#include "circuit/surface_schedules.h"
+#include "code/surface.h"
+#include "decoder/logical_error.h"
+#include "decoder/registry.h"
+#include "sim/dem_builder.h"
+
+using namespace prophunt;
+
+namespace {
+
+circuit::SmSchedule
+d3Schedule()
+{
+    code::SurfaceCode s(3);
+    return circuit::nzSchedule(s);
+}
+
+struct SmallModel
+{
+    circuit::SmCircuit circuit;
+    sim::Dem dem;
+};
+
+SmallModel
+smallModel()
+{
+    SmallModel m;
+    m.circuit = circuit::buildMemoryCircuit(d3Schedule(), 3,
+                                            circuit::MemoryBasis::Z);
+    m.dem = sim::buildDem(m.circuit, sim::NoiseModel::uniform(1e-3));
+    return m;
+}
+
+} // namespace
+
+// --- registry ---------------------------------------------------------------
+
+TEST(Registry, EveryRegisteredNameConstructs)
+{
+    SmallModel m = smallModel();
+    auto names = decoder::Registry::instance().names();
+    ASSERT_GE(names.size(), 3u);
+    for (const std::string &name : names) {
+        auto dec = decoder::Registry::make(name, m.dem, m.circuit);
+        ASSERT_NE(dec, nullptr) << name;
+        // Empty syndrome decodes to the trivial correction everywhere.
+        EXPECT_EQ(dec->decode({}), 0u) << name;
+        // Clones are independent and construct from every backend.
+        EXPECT_NE(dec->clone(), nullptr) << name;
+    }
+}
+
+TEST(Registry, KnownNamesPresent)
+{
+    auto &reg = decoder::Registry::instance();
+    EXPECT_TRUE(reg.has("union_find"));
+    EXPECT_TRUE(reg.has("matching"));
+    EXPECT_TRUE(reg.has("bp_osd"));
+    EXPECT_TRUE(reg.has("mle"));
+    EXPECT_FALSE(reg.has("no_such_decoder"));
+}
+
+TEST(Registry, UnknownNameErrorsCleanly)
+{
+    SmallModel m = smallModel();
+    try {
+        decoder::Registry::make("no_such_decoder", m.dem, m.circuit);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("no_such_decoder"), std::string::npos);
+        EXPECT_NE(msg.find("bp_osd"), std::string::npos)
+            << "error should list the registered names";
+    }
+}
+
+TEST(Registry, MismatchedOptionsThrow)
+{
+    SmallModel m = smallModel();
+    decoder::DecoderSpec spec{"union_find",
+                              decoder::BpOsdOptions{}};
+    EXPECT_THROW(decoder::Registry::make(spec, m.dem, m.circuit),
+                 std::invalid_argument);
+}
+
+TEST(Registry, PerDecoderOptionsApply)
+{
+    SmallModel m = smallModel();
+    decoder::BpOsdOptions bp;
+    bp.stagnationWindow = 0;
+    EXPECT_NE(decoder::Registry::make({"bp_osd", bp}, m.dem, m.circuit),
+              nullptr);
+    decoder::MleOptions mle;
+    mle.maxWeight = 2;
+    EXPECT_NE(decoder::Registry::make({"mle", mle}, m.dem, m.circuit),
+              nullptr);
+}
+
+TEST(Registry, SpecDescribeDistinguishesOptions)
+{
+    decoder::BpOsdOptions a, b;
+    b.stagnationWindow = 0;
+    EXPECT_NE(decoder::DecoderSpec("bp_osd", a).describe(),
+              decoder::DecoderSpec("bp_osd", b).describe());
+    EXPECT_EQ(decoder::DecoderSpec("bp_osd", a).describe(),
+              decoder::DecoderSpec("bp_osd", a).describe());
+}
+
+TEST(Registry, LegacyKindMapsToRegistryNames)
+{
+    EXPECT_STREQ(decoder::decoderName(decoder::DecoderKind::UnionFind),
+                 "union_find");
+    EXPECT_STREQ(decoder::decoderName(decoder::DecoderKind::BpOsd),
+                 "bp_osd");
+}
+
+// --- schedule hashing -------------------------------------------------------
+
+TEST(ScheduleHash, EqualSchedulesHashEqual)
+{
+    EXPECT_EQ(api::hashSchedule(d3Schedule()),
+              api::hashSchedule(d3Schedule()));
+}
+
+TEST(ScheduleHash, DifferentSchedulesHashDifferent)
+{
+    code::SurfaceCode s(3);
+    EXPECT_NE(api::hashSchedule(circuit::nzSchedule(s)),
+              api::hashSchedule(circuit::poorSurfaceSchedule(s)));
+}
+
+// --- engine -----------------------------------------------------------------
+
+namespace {
+
+api::LerRequest
+d3Request(std::size_t threads)
+{
+    api::LerRequest req(d3Schedule());
+    req.rounds = 3;
+    req.noise = sim::NoiseModel::uniform(3e-3);
+    req.decoder = "union_find";
+    req.shots = 4000;
+    req.seed = 77;
+    req.ler.threads = threads;
+    return req;
+}
+
+} // namespace
+
+TEST(Engine, MatchesMeasureMemoryLerBitForBit)
+{
+    api::Engine engine;
+    api::LerRequest req = d3Request(1);
+    api::LerResult viaEngine = engine.run(req);
+    decoder::LerOptions opts;
+    opts.threads = 1;
+    decoder::MemoryLer direct = decoder::measureMemoryLer(
+        req.schedule, 3, req.noise, "union_find", 4000, 77, opts);
+    EXPECT_EQ(viaEngine.memory.z.failures, direct.z.failures);
+    EXPECT_EQ(viaEngine.memory.z.shots, direct.z.shots);
+    EXPECT_EQ(viaEngine.memory.x.failures, direct.x.failures);
+    EXPECT_EQ(viaEngine.memory.x.shots, direct.x.shots);
+    EXPECT_EQ(viaEngine.telemetry.shots, 8000u);
+}
+
+TEST(Engine, CacheOnOffBitIdenticalAcrossThreadCounts)
+{
+    api::EngineOptions cached;
+    api::EngineOptions uncached;
+    uncached.cacheEnabled = false;
+    api::Engine cachedEngine(cached);
+    api::Engine uncachedEngine(uncached);
+
+    api::LerResult reference = cachedEngine.run(d3Request(1));
+    for (std::size_t threads : {1u, 2u, 3u}) {
+        api::LerRequest req = d3Request(threads);
+        api::LerResult a = cachedEngine.run(req);
+        api::LerResult b = uncachedEngine.run(req);
+        for (const api::LerResult *r : {&a, &b}) {
+            EXPECT_EQ(r->memory.z.failures, reference.memory.z.failures)
+                << "threads=" << threads;
+            EXPECT_EQ(r->memory.x.failures, reference.memory.x.failures)
+                << "threads=" << threads;
+            EXPECT_EQ(r->memory.z.shots, reference.memory.z.shots);
+            EXPECT_EQ(r->memory.x.shots, reference.memory.x.shots);
+        }
+    }
+}
+
+TEST(Engine, CacheHitsReported)
+{
+    api::Engine engine;
+    api::LerResult first = engine.run(d3Request(1));
+    EXPECT_EQ(first.telemetry.cacheHits, 0u);
+    EXPECT_GT(first.telemetry.cacheMisses, 0u);
+    EXPECT_GT(first.telemetry.buildUs, 0u);
+
+    api::LerResult second = engine.run(d3Request(1));
+    EXPECT_GT(second.telemetry.cacheHits, 0u);
+    EXPECT_EQ(second.telemetry.cacheMisses, 0u);
+    EXPECT_EQ(second.telemetry.buildUs, 0u)
+        << "cache hits must not rebuild artifacts";
+
+    auto stats = engine.cacheStats();
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.misses, 0u);
+    EXPECT_GT(stats.demEntries, 0u);
+
+    engine.clearCache();
+    stats = engine.cacheStats();
+    EXPECT_EQ(stats.demEntries, 0u);
+    EXPECT_EQ(stats.circuitEntries, 0u);
+}
+
+TEST(Engine, CacheDisabledNeverHits)
+{
+    api::EngineOptions opts;
+    opts.cacheEnabled = false;
+    api::Engine engine(opts);
+    engine.run(d3Request(1));
+    api::LerResult second = engine.run(d3Request(1));
+    EXPECT_EQ(second.telemetry.cacheHits, 0u);
+    EXPECT_GT(second.telemetry.cacheMisses, 0u);
+}
+
+TEST(Engine, FlaggedCircuitsCachedSeparately)
+{
+    api::Engine engine;
+    engine.run(d3Request(1));
+    api::LerRequest flagged = d3Request(1);
+    flagged.shots = 500;
+    flagged.flagWeight = 4;
+    api::LerResult f = engine.run(flagged);
+    EXPECT_EQ(f.telemetry.cacheHits, 0u)
+        << "a flagged request must not reuse the plain circuit";
+    EXPECT_GT(f.telemetry.cacheMisses, 0u);
+    EXPECT_EQ(f.telemetry.shots, 1000u);
+}
+
+TEST(Engine, SweepMatchesPointwiseRuns)
+{
+    api::Engine engine;
+    api::SweepRequest sweep(d3Schedule());
+    sweep.rounds = 3;
+    sweep.ps = {1e-3, 3e-3};
+    sweep.decoder = "union_find";
+    sweep.shotsPerPoint = 2000;
+    sweep.seed = 5;
+    sweep.ler.threads = 1;
+    api::SweepResult result = engine.run(sweep);
+    ASSERT_EQ(result.points.size(), 2u);
+
+    for (std::size_t i = 0; i < sweep.ps.size(); ++i) {
+        api::LerRequest req(sweep.schedule);
+        req.rounds = 3;
+        req.noise = sim::NoiseModel::uniform(sweep.ps[i]);
+        req.decoder = "union_find";
+        req.shots = 2000;
+        req.seed = 5;
+        req.ler.threads = 1;
+        api::LerResult point = engine.run(req);
+        EXPECT_EQ(result.points[i].memory.z.failures,
+                  point.memory.z.failures);
+        EXPECT_EQ(result.points[i].memory.x.failures,
+                  point.memory.x.failures);
+        EXPECT_EQ(result.points[i].decision, api::SprtDecision::None);
+    }
+    EXPECT_EQ(result.totalShots(), 8000u);
+}
+
+TEST(Engine, SubmitReturnsSameResultAsRun)
+{
+    api::Engine engine;
+    api::LerResult sync = engine.run(d3Request(1));
+    std::future<api::LerResult> f1 = engine.submit(d3Request(1));
+    std::future<api::LerResult> f2 = engine.submit(d3Request(2));
+    api::LerResult r1 = f1.get();
+    api::LerResult r2 = f2.get();
+    EXPECT_EQ(r1.memory.z.failures, sync.memory.z.failures);
+    EXPECT_EQ(r1.memory.x.failures, sync.memory.x.failures);
+    EXPECT_EQ(r2.memory.z.failures, sync.memory.z.failures);
+    EXPECT_EQ(r2.memory.x.failures, sync.memory.x.failures);
+}
+
+// --- SPRT -------------------------------------------------------------------
+
+TEST(Sprt, InvalidOptionsThrow)
+{
+    api::SprtOptions opts;
+    opts.decisionLer = 0.02;
+    opts.margin = 1.0;
+    EXPECT_THROW(api::SprtTest{opts}, std::invalid_argument);
+    opts.margin = 2.0;
+    opts.decisionLer = 0.0;
+    EXPECT_THROW(api::SprtTest{opts}, std::invalid_argument);
+    opts.decisionLer = 0.02;
+    opts.alpha = 0.0;
+    EXPECT_THROW(api::SprtTest{opts}, std::invalid_argument);
+}
+
+TEST(Sprt, DecidesObviousRates)
+{
+    api::SprtOptions opts;
+    opts.decisionLer = 0.02;
+    opts.minShots = 100;
+    api::SprtTest test(opts);
+    // 30% failures over 2000 trials: far above the 4% upper hypothesis.
+    EXPECT_EQ(test.evaluate(2000, 600), api::SprtDecision::Above);
+    // Zero failures over 2000 trials: far below the 1% lower hypothesis.
+    EXPECT_EQ(test.evaluate(2000, 0), api::SprtDecision::Below);
+    // Right at the threshold: still inside the indifference zone.
+    EXPECT_EQ(test.evaluate(2000, 40), api::SprtDecision::Undecided);
+    // Before minShots nothing is decided.
+    EXPECT_EQ(test.evaluate(50, 0), api::SprtDecision::Undecided);
+}
+
+TEST(Sprt, FixedDecisionRule)
+{
+    api::SprtOptions opts;
+    opts.decisionLer = 0.02;
+    EXPECT_EQ(api::SprtTest::fixedDecision(0.5, opts),
+              api::SprtDecision::Above);
+    EXPECT_EQ(api::SprtTest::fixedDecision(0.001, opts),
+              api::SprtDecision::Below);
+    opts.decisionLer = 0.0;
+    EXPECT_EQ(api::SprtTest::fixedDecision(0.5, opts),
+              api::SprtDecision::None);
+}
+
+TEST(Sprt, AdaptiveSweepSameDecisionsFewerShots)
+{
+    api::Engine engine;
+    api::SweepRequest sweep(d3Schedule());
+    sweep.rounds = 3;
+    // LER(d=3 N-Z) is ~1e-3 at p=1e-3 and ~0.2 at p=1.6e-2 — both far
+    // outside the [0.01, 0.04] indifference zone of the 0.02 threshold.
+    sweep.ps = {1e-3, 1.6e-2};
+    sweep.decoder = "union_find";
+    sweep.shotsPerPoint = 20000;
+    sweep.seed = 13;
+    sweep.ler.threads = 1;
+    sweep.sprt.decisionLer = 0.02;
+
+    sweep.sprt.enabled = false;
+    api::SweepResult fixed = engine.run(sweep);
+    sweep.sprt.enabled = true;
+    api::SweepResult adaptive = engine.run(sweep);
+
+    ASSERT_EQ(fixed.points.size(), adaptive.points.size());
+    for (std::size_t i = 0; i < fixed.points.size(); ++i) {
+        EXPECT_NE(fixed.points[i].decision, api::SprtDecision::None);
+        EXPECT_EQ(fixed.points[i].decision, adaptive.points[i].decision)
+            << "p=" << fixed.points[i].p;
+    }
+    EXPECT_EQ(fixed.points[0].decision, api::SprtDecision::Below);
+    EXPECT_EQ(fixed.points[1].decision, api::SprtDecision::Above);
+    EXPECT_LT(adaptive.totalShots(), fixed.totalShots())
+        << "SPRT must save shots on well-separated points";
+}
+
+TEST(Sprt, AdaptiveSweepDeterministicAcrossThreadCounts)
+{
+    api::Engine engine;
+    api::SweepRequest sweep(d3Schedule());
+    sweep.rounds = 3;
+    sweep.ps = {1.6e-2};
+    sweep.decoder = "union_find";
+    sweep.shotsPerPoint = 8000;
+    sweep.seed = 29;
+    sweep.sprt.enabled = true;
+    sweep.sprt.decisionLer = 0.02;
+
+    sweep.ler.threads = 1;
+    api::SweepResult one = engine.run(sweep);
+    for (std::size_t threads : {2u, 3u}) {
+        sweep.ler.threads = threads;
+        api::SweepResult many = engine.run(sweep);
+        EXPECT_EQ(many.points[0].memory.z.failures,
+                  one.points[0].memory.z.failures);
+        EXPECT_EQ(many.points[0].memory.x.failures,
+                  one.points[0].memory.x.failures);
+        EXPECT_EQ(many.totalShots(), one.totalShots());
+        EXPECT_EQ(many.points[0].decision, one.points[0].decision);
+    }
+}
+
+// --- config -----------------------------------------------------------------
+
+TEST(Config, EnvOverridesDefaults)
+{
+    ::setenv("PROPHUNT_SHOTS", "123", 1);
+    ::setenv("PROPHUNT_THREADS", "2", 1);
+    ::setenv("PROPHUNT_MAX_FAILURES", "7", 1);
+    api::Config cfg = api::Config::fromEnv();
+    ::unsetenv("PROPHUNT_SHOTS");
+    ::unsetenv("PROPHUNT_THREADS");
+    ::unsetenv("PROPHUNT_MAX_FAILURES");
+    EXPECT_EQ(cfg.shots, 123u);
+    EXPECT_EQ(cfg.threads, 2u);
+    EXPECT_EQ(cfg.maxFailures, 7u);
+    EXPECT_EQ(cfg.lerOptions().threads, 2u);
+    EXPECT_EQ(cfg.lerOptions().maxFailures, 7u);
+    EXPECT_EQ(cfg.propHuntOptions(9).seed, 9u);
+    EXPECT_EQ(cfg.propHuntOptions(9).ler.threads, 2u);
+}
+
+TEST(Config, DefaultThreadsMeanHardwareConcurrency)
+{
+    api::Config cfg;
+    EXPECT_EQ(cfg.threads, 0u);
+    EXPECT_EQ(decoder::LerOptions{}.threads, 0u)
+        << "0 = hardware concurrency is the single default";
+}
+
+TEST(Config, ApplyArgsStripsRecognizedFlags)
+{
+    const char *argv_in[] = {"prog",      "--threads", "3",  "keep",
+                             "--shots",   "999",       "--max-failures",
+                             "11",        "tail"};
+    char *argv[9];
+    for (int i = 0; i < 9; ++i) {
+        argv[i] = const_cast<char *>(argv_in[i]);
+    }
+    int argc = 9;
+    api::Config cfg;
+    cfg.applyArgs(argc, argv);
+    EXPECT_EQ(cfg.threads, 3u);
+    EXPECT_EQ(cfg.shots, 999u);
+    EXPECT_EQ(cfg.maxFailures, 11u);
+    ASSERT_EQ(argc, 3);
+    EXPECT_STREQ(argv[0], "prog");
+    EXPECT_STREQ(argv[1], "keep");
+    EXPECT_STREQ(argv[2], "tail");
+}

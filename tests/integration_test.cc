@@ -30,13 +30,14 @@ TEST(Integration, PropHuntRecoversHandDesignedPerformance)
     opts.iterations = 8;
     opts.samplesPerIteration = 200;
     opts.seed = 7;
+    opts.threads = 1; // One sampling worker: machine-independent trajectory.
     core::PropHunt tool(opts);
     core::OptimizeResult res = tool.optimize(coloration, 3);
 
     sim::NoiseModel noise = sim::NoiseModel::uniform(3e-3);
     auto ler = [&](const circuit::SmSchedule &sched) {
         return decoder::measureMemoryLer(sched, 3, noise,
-                                         decoder::DecoderKind::UnionFind,
+                                         "union_find",
                                          30000, 99)
             .combined();
     };
@@ -62,6 +63,7 @@ TEST(Integration, OptimizerImprovesLdpcCode)
     opts.samplesPerIteration = 120;
     opts.maxSubgraphErrors = 32;
     opts.seed = 13;
+    opts.threads = 1; // One sampling worker: machine-independent trajectory.
     core::PropHunt tool(opts);
     core::OptimizeResult res = tool.optimize(coloration, 3);
 
@@ -102,6 +104,7 @@ TEST(Integration, IntermediateSnapshotsSpanLerRange)
     opts.iterations = 5;
     opts.samplesPerIteration = 150;
     opts.seed = 21;
+    opts.threads = 1; // One sampling worker: machine-independent trajectory.
     core::PropHunt tool(opts);
     core::OptimizeResult res =
         tool.optimize(circuit::poorSurfaceSchedule(s), 3);
@@ -112,7 +115,7 @@ TEST(Integration, IntermediateSnapshotsSpanLerRange)
     for (const auto &snap : res.snapshots) {
         lers.push_back(decoder::measureMemoryLer(
                            snap, 3, noise,
-                           decoder::DecoderKind::UnionFind, 20000, 55)
+                           "union_find", 20000, 55)
                            .combined());
     }
     EXPECT_LT(lers.back(), lers.front())
@@ -128,6 +131,7 @@ TEST(Integration, DemDetectorCountsStableAcrossSnapshots)
     opts.iterations = 3;
     opts.samplesPerIteration = 100;
     opts.seed = 31;
+    opts.threads = 1; // One sampling worker: machine-independent trajectory.
     core::PropHunt tool(opts);
     core::OptimizeResult res =
         tool.optimize(circuit::poorSurfaceSchedule(s), 3);

@@ -249,6 +249,7 @@ TEST(Optimizer, ImprovesPoorD3Schedule)
     opts.iterations = 6;
     opts.samplesPerIteration = 150;
     opts.seed = 3;
+    opts.threads = 1; // One sampling worker: machine-independent trajectory.
     PropHunt tool(opts);
     OptimizeResult res = tool.optimize(circuit::poorSurfaceSchedule(s), 3);
     ASSERT_FALSE(res.history.empty());
@@ -269,6 +270,7 @@ TEST(Optimizer, RecordsSolveTelemetry)
     opts.iterations = 2;
     opts.samplesPerIteration = 100;
     opts.seed = 5;
+    opts.threads = 1; // One sampling worker: machine-independent trajectory.
     PropHunt tool(opts);
     OptimizeResult res =
         tool.optimize(circuit::poorSurfaceSchedule(s), 3);
@@ -294,6 +296,7 @@ TEST(Optimizer, ConvergesOnAlreadyGoodSchedule)
     opts.samplesPerIteration = 100;
     opts.maxSubgraphErrors = 20;
     opts.seed = 11;
+    opts.threads = 1; // One sampling worker: machine-independent trajectory.
     PropHunt tool(opts);
     OptimizeResult res = tool.optimize(circuit::nzSchedule(s), 3);
     std::size_t deff =
