@@ -219,6 +219,11 @@ LerResult
 Engine::run(const LerRequest &req)
 {
     LerResult out;
+    if (req.shots == 0) {
+        // A zero-shot request has a well-formed empty answer; skip the
+        // artifact build so the telemetry stays zeroed too.
+        return out;
+    }
     for (auto basis : {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
         Artifact art =
             artifactFor(req.schedule, req.rounds, basis, req.noise,
@@ -229,6 +234,7 @@ Engine::run(const LerRequest &req)
             decoder::memoryBasisSeed(req.seed, basis), req.ler);
         out.telemetry.decodeUs += now_us() - t0;
         out.telemetry.shots += r.shots;
+        out.telemetry.packed += r.packed;
         (basis == circuit::MemoryBasis::Z ? out.memory.z : out.memory.x) =
             r;
     }
@@ -241,6 +247,12 @@ Engine::sweepPoint(const SweepRequest &req, double p)
     SweepPointResult pt;
     pt.p = p;
     sim::NoiseModel noise = sim::NoiseModel::withIdle(p, req.pIdle);
+
+    if (req.shotsPerPoint == 0) {
+        // No data: a well-formed empty point with no decision and zeroed
+        // telemetry (mirrors the zero-shot LerRequest contract).
+        return pt;
+    }
 
     if (!req.sprt.enabled) {
         LerRequest lr(req.schedule);
@@ -293,6 +305,8 @@ Engine::sweepPoint(const SweepRequest &req, double p)
                                           : pt.memory.x;
             acc.shots += r.shots;
             acc.failures += r.failures;
+            acc.packed += r.packed;
+            pt.telemetry.packed += r.packed;
         }
         pt.telemetry.decodeUs += now_us() - t0;
         done += chunk;

@@ -36,6 +36,9 @@ struct Telemetry
     std::size_t cacheMisses = 0;
     /** Total shots actually sampled (both bases). */
     std::size_t shots = 0;
+    /** Packed-decode path counters: native packed vs transpose-adapter
+     * shots and the lane engine's occupancy (decoder/decoder.h). */
+    decoder::PackedDecodeStats packed;
 
     Telemetry &
     operator+=(const Telemetry &o)
@@ -45,6 +48,7 @@ struct Telemetry
         cacheHits += o.cacheHits;
         cacheMisses += o.cacheMisses;
         shots += o.shots;
+        packed += o.packed;
         return *this;
     }
 };

@@ -247,122 +247,13 @@ BpOsdDecoder::runRegion(const std::vector<uint32_t> &cols,
         }
         solved = true;
     } else {
-        // OSD-0: process columns in decreasing error likelihood (ascending
-        // posterior LLR) and solve H x = s by incremental elimination on
-        // column vectors over the local detectors.
-        std::size_t ne = cols.size(), nd = regionDets_.size();
-        order_.resize(ne);
-        std::iota(order_.begin(), order_.end(), 0);
-        auto byPosterior = [&](uint32_t a, uint32_t b) {
-            return posterior_[cols[a]] < posterior_[cols[b]];
-        };
-        // Elimination usually terminates within a few dozen columns, so on
-        // large regions only the most likely prefix is sorted up front; the
-        // tail is sorted lazily if ever reached. The reference-exact mode
-        // keeps the full sort so column order matches bit for bit.
-        constexpr std::size_t kOsdPrefix = 512;
-        bool fullSort = opts_.stagnationWindow == 0 || ne <= kOsdPrefix;
-        if (fullSort) {
-            std::sort(order_.begin(), order_.end(), byPosterior);
-        } else {
-            std::nth_element(order_.begin(), order_.begin() + kOsdPrefix,
-                             order_.end(), byPosterior);
-            std::sort(order_.begin(), order_.begin() + kOsdPrefix,
-                      byPosterior);
+        osdPost_.resize(cols.size());
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            osdPost_[i] = posterior_[cols[i]];
         }
-
-        std::size_t words = (nd + 63) / 64;
-        synWords_.assign(words, 0);
-        for (uint32_t d : flipped) {
-            uint32_t ld = (uint32_t)detLocal_[d];
-            synWords_[ld >> 6] |= uint64_t{1} << (ld & 63);
-        }
-        pivRow_.clear();
-        pivCols_.clear();
-        pivMembers_.clear();
-        pivMemBegin_.assign(1, 0);
-        solUses_.assign(ne, 0);
-        // Reduce the syndrome as we go; solution = pivots whose row bit is
-        // set in the (running) reduced syndrome.
-        for (std::size_t oi = 0; oi < ne; ++oi) {
-            if (!fullSort && oi == kOsdPrefix) {
-                std::sort(order_.begin() + kOsdPrefix, order_.end(),
-                          byPosterior);
-            }
-            uint32_t oc = order_[oi];
-            uint32_t gc = cols[oc];
-            colWords_.assign(words, 0);
-            for (uint32_t e = colBegin_[gc]; e < colBegin_[gc + 1]; ++e) {
-                uint32_t ld = (uint32_t)detLocal_[colDet_[e]];
-                colWords_[ld >> 6] |= uint64_t{1} << (ld & 63);
-            }
-            memScratch_.clear();
-            memScratch_.push_back(oc);
-            std::size_t npiv = pivRow_.size();
-            for (std::size_t pi = 0; pi < npiv; ++pi) {
-                std::size_t prow = pivRow_[pi];
-                if ((colWords_[prow >> 6] >> (prow & 63)) & 1) {
-                    const uint64_t *pc = pivCols_.data() + pi * words;
-                    for (std::size_t w = 0; w < words; ++w) {
-                        colWords_[w] ^= pc[w];
-                    }
-                    for (uint32_t mi = pivMemBegin_[pi];
-                         mi < pivMemBegin_[pi + 1]; ++mi) {
-                        memScratch_.push_back(pivMembers_[mi]);
-                    }
-                }
-            }
-            std::size_t row = nd;
-            for (std::size_t w = 0; w < words && row == nd; ++w) {
-                if (colWords_[w]) {
-                    row = (w << 6) + std::countr_zero(colWords_[w]);
-                }
-            }
-            if (row == nd) {
-                continue; // dependent column
-            }
-            pivRow_.push_back((uint32_t)row);
-            pivCols_.insert(pivCols_.end(), colWords_.begin(),
-                            colWords_.end());
-            pivMembers_.insert(pivMembers_.end(), memScratch_.begin(),
-                               memScratch_.end());
-            pivMemBegin_.push_back((uint32_t)pivMembers_.size());
-            // Check if the syndrome is now explainable.
-            rScratch_.assign(synWords_.begin(), synWords_.end());
-            useScratch_.assign(npiv + 1, 0);
-            for (std::size_t pi = 0; pi < npiv + 1; ++pi) {
-                std::size_t prow = pivRow_[pi];
-                if ((rScratch_[prow >> 6] >> (prow & 63)) & 1) {
-                    const uint64_t *pc = pivCols_.data() + pi * words;
-                    for (std::size_t w = 0; w < words; ++w) {
-                        rScratch_[w] ^= pc[w];
-                    }
-                    useScratch_[pi] = 1;
-                }
-            }
-            bool zero = true;
-            for (uint64_t w : rScratch_) {
-                if (w) {
-                    zero = false;
-                    break;
-                }
-            }
-            if (zero) {
-                std::fill(solUses_.begin(), solUses_.end(), 0);
-                for (std::size_t pi = 0; pi < npiv + 1; ++pi) {
-                    if (useScratch_[pi]) {
-                        for (uint32_t mi = pivMemBegin_[pi];
-                             mi < pivMemBegin_[pi + 1]; ++mi) {
-                            solUses_[pivMembers_[mi]] ^= 1;
-                        }
-                    }
-                }
-                solved = true;
-                break;
-            }
-        }
+        solved = osdSolve(cols, osdPost_.data(), flipped);
         if (solved) {
-            for (std::size_t c = 0; c < ne; ++c) {
+            for (std::size_t c = 0; c < cols.size(); ++c) {
                 if (solUses_[c]) {
                     result ^= colObs_[cols[c]];
                 }
@@ -389,18 +280,129 @@ BpOsdDecoder::runRegion(const std::vector<uint32_t> &cols,
     return solved ? result : 0;
 }
 
-uint64_t
-BpOsdDecoder::decodeFast(const std::vector<uint32_t> &flipped)
+bool
+BpOsdDecoder::osdSolve(const std::vector<uint32_t> &cols, const double *post,
+                       const std::vector<uint32_t> &flipped)
 {
-    if (flipped.empty()) {
-        return 0;
+    // OSD-0: process columns in decreasing error likelihood (ascending
+    // posterior LLR) and solve H x = s by incremental elimination on
+    // column vectors over the local detectors.
+    std::size_t ne = cols.size(), nd = regionDets_.size();
+    order_.resize(ne);
+    std::iota(order_.begin(), order_.end(), 0);
+    auto byPosterior = [&](uint32_t a, uint32_t b) {
+        return post[a] < post[b];
+    };
+    // Elimination usually terminates within a few dozen columns, so on
+    // large regions only the most likely prefix is sorted up front; the
+    // tail is sorted lazily if ever reached. The reference-exact mode
+    // keeps the full sort so column order matches bit for bit.
+    constexpr std::size_t kOsdPrefix = 512;
+    bool fullSort = opts_.stagnationWindow == 0 || ne <= kOsdPrefix;
+    if (fullSort) {
+        std::sort(order_.begin(), order_.end(), byPosterior);
+    } else {
+        std::nth_element(order_.begin(), order_.begin() + kOsdPrefix,
+                         order_.end(), byPosterior);
+        std::sort(order_.begin(), order_.begin() + kOsdPrefix, byPosterior);
     }
-    // Weight-1 fast path: a syndrome exactly matching one mechanism is
-    // overwhelmingly most likely explained by it (p >> p^2).
-    auto hit = single_.find(flipped);
-    if (hit != single_.end()) {
-        return hit->second.first;
+
+    std::size_t words = (nd + 63) / 64;
+    synWords_.assign(words, 0);
+    for (uint32_t d : flipped) {
+        uint32_t ld = (uint32_t)detLocal_[d];
+        synWords_[ld >> 6] |= uint64_t{1} << (ld & 63);
     }
+    pivRow_.clear();
+    pivCols_.clear();
+    pivMembers_.clear();
+    pivMemBegin_.assign(1, 0);
+    solUses_.assign(ne, 0);
+    bool solved = false;
+    // Reduce the syndrome as we go; solution = pivots whose row bit is
+    // set in the (running) reduced syndrome.
+    for (std::size_t oi = 0; oi < ne; ++oi) {
+        if (!fullSort && oi == kOsdPrefix) {
+            std::sort(order_.begin() + kOsdPrefix, order_.end(),
+                      byPosterior);
+        }
+        uint32_t oc = order_[oi];
+        uint32_t gc = cols[oc];
+        colWords_.assign(words, 0);
+        for (uint32_t e = colBegin_[gc]; e < colBegin_[gc + 1]; ++e) {
+            uint32_t ld = (uint32_t)detLocal_[colDet_[e]];
+            colWords_[ld >> 6] |= uint64_t{1} << (ld & 63);
+        }
+        memScratch_.clear();
+        memScratch_.push_back(oc);
+        std::size_t npiv = pivRow_.size();
+        for (std::size_t pi = 0; pi < npiv; ++pi) {
+            std::size_t prow = pivRow_[pi];
+            if ((colWords_[prow >> 6] >> (prow & 63)) & 1) {
+                const uint64_t *pc = pivCols_.data() + pi * words;
+                for (std::size_t w = 0; w < words; ++w) {
+                    colWords_[w] ^= pc[w];
+                }
+                for (uint32_t mi = pivMemBegin_[pi];
+                     mi < pivMemBegin_[pi + 1]; ++mi) {
+                    memScratch_.push_back(pivMembers_[mi]);
+                }
+            }
+        }
+        std::size_t row = nd;
+        for (std::size_t w = 0; w < words && row == nd; ++w) {
+            if (colWords_[w]) {
+                row = (w << 6) + std::countr_zero(colWords_[w]);
+            }
+        }
+        if (row == nd) {
+            continue; // dependent column
+        }
+        pivRow_.push_back((uint32_t)row);
+        pivCols_.insert(pivCols_.end(), colWords_.begin(), colWords_.end());
+        pivMembers_.insert(pivMembers_.end(), memScratch_.begin(),
+                           memScratch_.end());
+        pivMemBegin_.push_back((uint32_t)pivMembers_.size());
+        // Check if the syndrome is now explainable.
+        rScratch_.assign(synWords_.begin(), synWords_.end());
+        useScratch_.assign(npiv + 1, 0);
+        for (std::size_t pi = 0; pi < npiv + 1; ++pi) {
+            std::size_t prow = pivRow_[pi];
+            if ((rScratch_[prow >> 6] >> (prow & 63)) & 1) {
+                const uint64_t *pc = pivCols_.data() + pi * words;
+                for (std::size_t w = 0; w < words; ++w) {
+                    rScratch_[w] ^= pc[w];
+                }
+                useScratch_[pi] = 1;
+            }
+        }
+        bool zero = true;
+        for (uint64_t w : rScratch_) {
+            if (w) {
+                zero = false;
+                break;
+            }
+        }
+        if (zero) {
+            std::fill(solUses_.begin(), solUses_.end(), 0);
+            for (std::size_t pi = 0; pi < npiv + 1; ++pi) {
+                if (useScratch_[pi]) {
+                    for (uint32_t mi = pivMemBegin_[pi];
+                         mi < pivMemBegin_[pi + 1]; ++mi) {
+                        solUses_[pivMembers_[mi]] ^= 1;
+                    }
+                }
+            }
+            solved = true;
+            break;
+        }
+    }
+    return solved;
+}
+
+void
+BpOsdDecoder::growRegion(const std::vector<uint32_t> &flipped)
+{
     // Localized region: errors within regionRadius expansion layers of the
     // flipped detectors.
     errs_.clear();
@@ -410,9 +412,18 @@ BpOsdDecoder::decodeFast(const std::vector<uint32_t> &flipped)
         detIn_[d] = 1;
         touchedDets_.push_back(d);
     }
-    for (std::size_t layer = 0; layer < opts_.regionRadius; ++layer) {
+    // Dense syndromes saturate the region early (every column joins
+    // within a layer or two on the benchmark codes); once all columns are
+    // in, later layers can only re-scan marks, so stop growing. The
+    // column list and its order are unchanged by the early exit.
+    std::size_t ne = colDets_.size();
+    for (std::size_t layer = 0;
+         layer < opts_.regionRadius && errs_.size() < ne; ++layer) {
         newDets_.clear();
         for (uint32_t d : frontier_) {
+            if (errs_.size() == ne) {
+                break;
+            }
             for (uint32_t i = detBegin_[d]; i < detBegin_[d + 1]; ++i) {
                 uint32_t e = detCol_[i];
                 if (errIn_[e]) {
@@ -436,17 +447,32 @@ BpOsdDecoder::decodeFast(const std::vector<uint32_t> &flipped)
             break;
         }
     }
-    bool ok = false;
-    uint64_t result = runRegion(errs_, flipped, ok);
-    if (!ok) {
-        // Fall back to the full graph.
-        result = runRegion(allCols_, flipped, ok);
-    }
     for (uint32_t e : errs_) {
         errIn_[e] = 0;
     }
     for (uint32_t d : touchedDets_) {
         detIn_[d] = 0;
+    }
+}
+
+uint64_t
+BpOsdDecoder::decodeFast(const std::vector<uint32_t> &flipped)
+{
+    if (flipped.empty()) {
+        return 0;
+    }
+    // Weight-1 fast path: a syndrome exactly matching one mechanism is
+    // overwhelmingly most likely explained by it (p >> p^2).
+    auto hit = single_.find(flipped);
+    if (hit != single_.end()) {
+        return hit->second.first;
+    }
+    growRegion(flipped);
+    bool ok = false;
+    uint64_t result = runRegion(errs_, flipped, ok);
+    if (!ok) {
+        // Fall back to the full graph.
+        result = runRegion(allCols_, flipped, ok);
     }
     return result;
 }

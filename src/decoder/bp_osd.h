@@ -43,6 +43,24 @@ struct BpOsdOptions
      * while removing most BP work on the hard shots.
      */
     std::size_t stagnationWindow = 2;
+    /**
+     * Shots decoded in parallel SIMD lanes by decodePacked (clamped to
+     * BpOsdDecoder::kMaxLaneWidth; 0 = scalar reference path, i.e. the
+     * transpose + decodeBatch pipeline).
+     *
+     * The lane engine runs min-sum BP for laneWidth shots at once over
+     * the shared Tanner CSR: messages are stored lane-interleaved
+     * (laneWidth doubles per edge), the detector -> column two-minimum
+     * reduction runs 4 lanes per AVX2 vector (with a bit-identical
+     * scalar-lane fallback), and per-lane sentinel masks keep each
+     * shot's localized region independent. Lanes retire individually on
+     * convergence / stagnation and are refilled from the shot queue, so
+     * iteration skew between easy and hard syndromes no longer idles the
+     * engine. Every lane reproduces per-shot decode() bit for bit — the
+     * observables are identical for every laneWidth, only the throughput
+     * changes.
+     */
+    std::size_t laneWidth = 8;
 };
 
 /**
@@ -60,12 +78,23 @@ struct BpOsdOptions
 class BpOsdDecoder : public Decoder
 {
   public:
+    /** Hard cap on BpOsdOptions::laneWidth (lane masks are 32-bit and the
+     * message arrays scale linearly with the width). */
+    static constexpr std::size_t kMaxLaneWidth = 16;
+
     explicit BpOsdDecoder(const sim::Dem &dem, BpOsdOptions opts = {});
 
     uint64_t decode(const std::vector<uint32_t> &flipped_detectors) override;
 
     void decodeBatch(const sim::SampleBatch &batch, std::size_t first,
                      std::size_t count, uint64_t *obs_out) override;
+
+    /** Native frame-layout path: per-shot syndromes are extracted from
+     * the detector-major words without a transpose and decoded by the
+     * lane engine (opts.laneWidth > 0) or routed through the base
+     * adapter (laneWidth == 0, the PR 2 batched path). */
+    void decodePacked(const sim::FrameView &frames, uint64_t *obs_out,
+                      PackedDecodeStats *stats = nullptr) override;
 
     /**
      * The original per-region implementation (rebuilds local indices and
@@ -94,6 +123,35 @@ class BpOsdDecoder : public Decoder
      * arrays; restores all scratch state before returning. */
     uint64_t runRegion(const std::vector<uint32_t> &cols,
                        const std::vector<uint32_t> &flipped, bool &ok);
+
+    /** Grow the localized region (regionRadius layers) around @p flipped
+     * into errs_; the errIn_/detIn_ marks are restored before returning. */
+    void growRegion(const std::vector<uint32_t> &flipped);
+
+    /**
+     * OSD-0 over @p cols: solve H x = s by incremental elimination with
+     * columns ranked by ascending posterior; post[i] is the posterior of
+     * cols[i] (both callers gather into osdPost_ first, so the sort reads
+     * contiguous memory). detLocal_/regionDets_ must hold the region's
+     * local detector numbering; fills solUses_ per position in @p cols
+     * and returns whether the syndrome became explainable.
+     */
+    bool osdSolve(const std::vector<uint32_t> &cols, const double *post,
+                  const std::vector<uint32_t> &flipped);
+
+    // --- lane engine (decodePacked; see bp_osd_lanes.cc) ---
+
+    /** Size the lane-interleaved state for width @p w (no-op once sized). */
+    void laneEnsure(std::size_t w);
+    /** Park shot @p shot (region already grown into errs_) in lane @p l. */
+    void laneInstall(std::size_t l, std::size_t shot,
+                     const std::vector<uint32_t> &flipped);
+    /** Finish lane @p l (hard decision, OSD, or full-graph fallback),
+     * write its observable mask, and restore the lane's slice of every
+     * between-shot invariant. */
+    uint64_t laneRetire(std::size_t l, bool converged);
+    /** One BP iteration for every live lane (detector and column pass). */
+    void laneIterate(bool use_avx2);
 
     BpOsdOptions opts_;
     std::size_t numDetectors_;
@@ -149,6 +207,46 @@ class BpOsdDecoder : public Decoder
     std::vector<uint32_t> memScratch_;
     std::vector<uint64_t> rScratch_;
     std::vector<uint8_t> useScratch_;
+    std::vector<double> osdPost_; ///< Posteriors gathered per cols position.
+
+    // Lane engine state (sized by laneEnsure on the first packed decode).
+    // Message/posterior arrays are lane-interleaved: element (i, lane)
+    // lives at i*laneW_ + lane. The region membership that the scalar
+    // scratch encodes with sentinel *values* is carried by the per-edge
+    // lane bit planes instead: laneMsg_ may hold garbage in inactive
+    // lanes, the detector pass substitutes the sentinel (or, on a lane's
+    // first iteration, the column prior) while loading. That turns the
+    // per-shot install/retire work from one strided double per edge into
+    // one contiguous bit per edge.
+    std::size_t laneW_ = 0;
+    /** In-place message array: column->detector values going into a
+     * detector pass, detector->column values going into a column pass
+     * (an edge belongs to exactly one detector and one column, so each
+     * pass may overwrite its input slot). */
+    std::vector<double> laneMsg_;
+    std::vector<double> lanePost_;
+    std::vector<uint16_t> laneEdgeActive_; ///< Bit l: edge in lane l's region.
+    std::vector<double> edgePrior_;      ///< prior_ of each edge's column.
+    std::vector<double> laneStage_;      ///< Det-pass staging, maxDeg x W.
+    std::vector<uint32_t> laneHardBits_; ///< Per column, bit l = lane l.
+    std::vector<uint8_t> laneAcc_;       ///< Hard-decision parity per (det, lane).
+    std::vector<uint8_t> laneSynB_;      ///< Syndrome bit per (det, lane).
+    std::vector<double> laneSynSign_;    ///< -0.0 where the syndrome is set.
+    std::vector<uint32_t> colLaneMask_;  ///< Per column, lanes it is active in.
+    std::vector<uint32_t> detLaneMask_;
+    std::vector<std::vector<uint32_t>> laneCols_; ///< Region per lane.
+    std::vector<std::vector<uint32_t>> laneFlipped_;
+    std::vector<std::size_t> laneShot_;
+    std::vector<uint8_t> laneLive_;
+    std::vector<std::ptrdiff_t> laneMismatch_;
+    std::vector<std::ptrdiff_t> laneBest_;
+    std::vector<std::size_t> laneSinceBest_;
+    std::vector<std::size_t> laneIter_;
+    // Packed-syndrome extraction scratch (per-shot flipped lists).
+    std::vector<uint32_t> packedFlipped_;
+    std::vector<uint32_t> packedOffsets_;
+    std::vector<uint32_t> packedFill_;
+    std::vector<uint32_t> laneQueue_;
 };
 
 } // namespace prophunt::decoder

@@ -1,0 +1,751 @@
+/**
+ * @file
+ * Lane-batched SIMD BP engine behind BpOsdDecoder::decodePacked.
+ *
+ * The engine runs min-sum BP for laneWidth shots in parallel "lanes" over
+ * the global Tanner CSR built once per DEM. Messages live in ONE
+ * lane-interleaved in-place array (laneWidth doubles per edge): a
+ * detector pass reads column->detector values and overwrites each slot
+ * with its detector->column reply (an edge belongs to exactly one
+ * detector and one column, so neither pass reads a slot another detector
+ * or column wrote this iteration). The detector -> column two-minimum
+ * reduction processes 4 lanes per AVX2 vector from one contiguous load —
+ * no gathers — and walks every chunk of the width in a single pass over
+ * the detector's edges, so the independent per-chunk min chains hide the
+ * blend latency and each message cache line is touched once per pass.
+ * Odd widths and non-x86 builds use a bit-identical scalar-lane
+ * fallback.
+ *
+ * Localized-region semantics are preserved per lane without per-shot
+ * message initialization: laneEdgeActive_ carries one bit per
+ * (edge, lane), and the detector pass substitutes the scalar path's
+ * +1e300 inactive-edge sentinel — or the column prior on a lane's first
+ * iteration, when no column pass has written real messages yet — while
+ * loading. The message array may therefore hold garbage in inactive
+ * lanes: installing a shot sets one contiguous bit per region edge
+ * instead of writing one strided double (a full cache line each at
+ * laneWidth 8), and retiring clears the lane's bit planes with
+ * vectorizable full-array sweeps. Both passes find their work by
+ * scanning the per-column/per-detector lane masks in index order, which
+ * keeps the message walks sequential. Lanes retire individually
+ * (convergence, stagnation, or the iteration budget) and are refilled
+ * from the shot queue, so iteration skew between easy and hard syndromes
+ * no longer serializes the batch.
+ *
+ * Exactness: every per-lane recurrence reproduces the scalar runRegion
+ * arithmetic operation for operation (same edge order in the sums, same
+ * strict-minimum updates, no FMA contraction), the per-lane stopping
+ * rules are the scalar ones, and non-converged lanes hand their
+ * posteriors to the shared scalar OSD post-pass — so decodePacked equals
+ * per-shot decode() bit for bit for every laneWidth, and a shot's result
+ * never depends on which shots share its lanes (shot-order invariance).
+ * The sign-bit trick used by the vector kernels (sign(x) as the IEEE
+ * sign bit) matches the scalar `v < 0.0` test because effective
+ * column -> detector messages are never -0.0: priors and sentinels are
+ * positive, and a sum or difference of doubles only produces -0.0 from
+ * two negative zeros.
+ */
+#include "decoder/bp_osd.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define PROPHUNT_LANES_X86 1
+#include <immintrin.h>
+#endif
+
+namespace prophunt::decoder {
+
+namespace {
+
+/** Same value as the scalar path's inactive-edge sentinel (bp_osd.cc). */
+constexpr double kInactiveLane = 1e300;
+
+/** Raw pointers of one lane BP iteration, hoisted out of the decoder so
+ * the same kernels compile with and without AVX2. */
+struct LaneCtx
+{
+    std::size_t W = 0;
+    std::size_t numDetectors = 0;
+    std::size_t numCols = 0;
+    double scale = 0.0;
+    /** Bit l: lane l is on its first iteration (messages still read as
+     * the column prior; no column pass has run for it yet). */
+    uint32_t freshLanes = 0;
+    const uint32_t *colBegin = nullptr;
+    const uint32_t *colDet = nullptr;
+    const uint32_t *detBegin = nullptr;
+    const uint32_t *detEdges = nullptr;
+    const double *prior = nullptr;
+    const double *edgePrior = nullptr;
+    double *msg = nullptr;
+    double *stage = nullptr;
+    double *post = nullptr;
+    const uint16_t *edgeActive = nullptr;
+    const double *synSign = nullptr;
+    const uint8_t *synB = nullptr;
+    uint8_t *acc = nullptr;
+    uint32_t *hardBits = nullptr;
+    const uint32_t *detMask = nullptr;
+    const uint32_t *colMask = nullptr;
+    std::ptrdiff_t *mismatch = nullptr;
+};
+
+/** The effective column->detector message of (edge @p e, lane @p l): the
+ * stored value for live region edges, the column prior before a lane's
+ * first column pass, the scalar sentinel outside the region. */
+inline double
+effectiveMsg(const LaneCtx &cx, std::size_t e, std::size_t l)
+{
+    if (((cx.edgeActive[e] >> l) & 1) == 0) {
+        return kInactiveLane;
+    }
+    if (((cx.freshLanes >> l) & 1) != 0) {
+        return cx.edgePrior[e];
+    }
+    return cx.msg[e * cx.W + l];
+}
+
+/** Detector -> column pass for one (detector, lane): the scalar min-sum
+ * two-minimum reduction of runRegion, indexed into the lane slice. */
+void
+detPassLane(const LaneCtx &cx, uint32_t d, std::size_t l)
+{
+    const std::size_t W = cx.W;
+    uint32_t b = cx.detBegin[d], en = cx.detBegin[d + 1];
+    uint32_t deg = en - b;
+    bool negProduct = cx.synB[(std::size_t)d * W + l] != 0;
+    double min1 = 1e300, min2 = 1e300;
+    uint32_t argpos = UINT32_MAX;
+    for (uint32_t i = 0; i < deg; ++i) {
+        double v = effectiveMsg(cx, cx.detEdges[b + i], l);
+        cx.stage[(std::size_t)i * W + l] = v;
+        if (v < 0.0) {
+            negProduct = !negProduct;
+        }
+        double a = std::fabs(v);
+        if (a < min1) {
+            min2 = min1;
+            min1 = a;
+            argpos = i;
+        } else if (a < min2) {
+            min2 = a;
+        }
+    }
+    double m1 = cx.scale * min1, m2 = cx.scale * min2;
+    for (uint32_t i = 0; i < deg; ++i) {
+        double v = cx.stage[(std::size_t)i * W + l];
+        double mag = (i == argpos) ? m2 : m1;
+        cx.msg[(std::size_t)cx.detEdges[b + i] * W + l] =
+            (negProduct != (v < 0.0)) ? -mag : mag;
+    }
+}
+
+/** Column -> detector pass for one (column, lane): posterior, hard
+ * decision with incremental syndrome-mismatch tracking, message update. */
+void
+colPassLane(const LaneCtx &cx, uint32_t c, std::size_t l)
+{
+    const std::size_t W = cx.W;
+    uint32_t b = cx.colBegin[c], en = cx.colBegin[c + 1];
+    double total = cx.prior[c];
+    for (uint32_t e = b; e < en; ++e) {
+        total += cx.msg[(std::size_t)e * W + l];
+    }
+    cx.post[(std::size_t)c * W + l] = total;
+    uint32_t bit = uint32_t{1} << l;
+    uint32_t h = total < 0 ? bit : 0;
+    if (((cx.hardBits[c] ^ h) & bit) != 0) {
+        cx.hardBits[c] ^= bit;
+        for (uint32_t e = b; e < en; ++e) {
+            std::size_t off = (std::size_t)cx.colDet[e] * W + l;
+            cx.acc[off] ^= 1;
+            cx.mismatch[l] += (cx.acc[off] != cx.synB[off]) ? 1 : -1;
+        }
+    }
+    for (uint32_t e = b; e < en; ++e) {
+        std::size_t off = (std::size_t)e * W + l;
+        cx.msg[off] = total - cx.msg[off];
+    }
+}
+
+void
+detPassGeneric(const LaneCtx &cx)
+{
+    for (std::size_t d = 0; d < cx.numDetectors; ++d) {
+        uint32_t mask = cx.detMask[d];
+        while (mask != 0) {
+            detPassLane(cx, (uint32_t)d,
+                        (std::size_t)std::countr_zero(mask));
+            mask &= mask - 1;
+        }
+    }
+}
+
+void
+colPassGeneric(const LaneCtx &cx)
+{
+    for (std::size_t c = 0; c < cx.numCols; ++c) {
+        uint32_t mask = cx.colMask[c];
+        while (mask != 0) {
+            colPassLane(cx, (uint32_t)c,
+                        (std::size_t)std::countr_zero(mask));
+            mask &= mask - 1;
+        }
+    }
+}
+
+#if PROPHUNT_LANES_X86
+
+/** Element j is all-ones iff bit j of the index is set; the sign bits
+ * drive _mm256_blendv_pd lane selection. */
+alignas(32) constexpr int64_t kNibbleMask[16][4] = {
+    {0, 0, 0, 0},     {-1, 0, 0, 0},   {0, -1, 0, 0},   {-1, -1, 0, 0},
+    {0, 0, -1, 0},    {-1, 0, -1, 0},  {0, -1, -1, 0},  {-1, -1, -1, 0},
+    {0, 0, 0, -1},    {-1, 0, 0, -1},  {0, -1, 0, -1},  {-1, -1, 0, -1},
+    {0, 0, -1, -1},   {-1, 0, -1, -1}, {0, -1, -1, -1}, {-1, -1, -1, -1},
+};
+
+__attribute__((target("avx2"))) inline __m256d
+nibbleMask(uint32_t nib)
+{
+    return _mm256_castsi256_pd(
+        _mm256_load_si256((const __m256i *)kNibbleMask[nib]));
+}
+
+/**
+ * AVX2 detector pass for NC 4-lane chunks walked in ONE pass over each
+ * detector's edges: the two-minimum chains of the chunks are
+ * independent, so interleaving them hides the blend latency, and every
+ * message cache line is touched once per pass. Remainder lanes (W % 4)
+ * run the scalar kernel; lanes of a processed chunk with no live shot at
+ * this detector see only sentinels and produce garbage nobody reads.
+ */
+template <int NC>
+__attribute__((target("avx2"))) void
+detPassAvx2(const LaneCtx &cx)
+{
+    const std::size_t W = cx.W;
+    const __m256d signMask = _mm256_set1_pd(-0.0);
+    const __m256d inactive = _mm256_set1_pd(kInactiveLane);
+    const __m256d scaleV = _mm256_set1_pd(cx.scale);
+    __m256d freshV[NC];
+    for (int k = 0; k < NC; ++k) {
+        freshV[k] = nibbleMask((cx.freshLanes >> (4 * k)) & 0xf);
+    }
+    for (std::size_t d = 0; d < cx.numDetectors; ++d) {
+        uint32_t mask = cx.detMask[d];
+        if (mask == 0) {
+            continue;
+        }
+        uint32_t b = cx.detBegin[d], en = cx.detBegin[d + 1];
+        uint32_t deg = en - b;
+        __m256d signAcc[NC], min1[NC], min2[NC], argpos[NC];
+        for (int k = 0; k < NC; ++k) {
+            signAcc[k] =
+                _mm256_loadu_pd(cx.synSign + (std::size_t)d * W + 4 * k);
+            min1[k] = inactive;
+            min2[k] = inactive;
+            argpos[k] = _mm256_set1_pd(-1.0);
+        }
+        for (uint32_t i = 0; i < deg; ++i) {
+            std::size_t e = cx.detEdges[b + i];
+            uint32_t act = cx.edgeActive[e];
+            const __m256d priorV = _mm256_set1_pd(cx.edgePrior[e]);
+            const __m256d idx = _mm256_set1_pd((double)i);
+            for (int k = 0; k < NC; ++k) {
+                __m256d am = nibbleMask((act >> (4 * k)) & 0xf);
+                __m256d v = _mm256_loadu_pd(cx.msg + e * W + 4 * k);
+                // Region membership: prior on the lane's first
+                // iteration, stored value afterwards, sentinel outside
+                // the region.
+                v = _mm256_blendv_pd(v, priorV,
+                                     _mm256_and_pd(am, freshV[k]));
+                v = _mm256_blendv_pd(inactive, v, am);
+                _mm256_storeu_pd(cx.stage + (std::size_t)i * W + 4 * k, v);
+                signAcc[k] =
+                    _mm256_xor_pd(signAcc[k], _mm256_and_pd(v, signMask));
+                __m256d a = _mm256_andnot_pd(signMask, v);
+                __m256d lt1 = _mm256_cmp_pd(a, min1[k], _CMP_LT_OQ);
+                __m256d lt2 = _mm256_cmp_pd(a, min2[k], _CMP_LT_OQ);
+                min2[k] = _mm256_blendv_pd(
+                    _mm256_blendv_pd(min2[k], a, lt2), min1[k], lt1);
+                min1[k] = _mm256_blendv_pd(min1[k], a, lt1);
+                argpos[k] = _mm256_blendv_pd(argpos[k], idx, lt1);
+            }
+        }
+        __m256d m1[NC], m2[NC];
+        for (int k = 0; k < NC; ++k) {
+            m1[k] = _mm256_mul_pd(scaleV, min1[k]);
+            m2[k] = _mm256_mul_pd(scaleV, min2[k]);
+        }
+        for (uint32_t i = 0; i < deg; ++i) {
+            std::size_t e = cx.detEdges[b + i];
+            const __m256d idx = _mm256_set1_pd((double)i);
+            for (int k = 0; k < NC; ++k) {
+                __m256d v =
+                    _mm256_loadu_pd(cx.stage + (std::size_t)i * W + 4 * k);
+                __m256d eq = _mm256_cmp_pd(idx, argpos[k], _CMP_EQ_OQ);
+                __m256d mag = _mm256_blendv_pd(m1[k], m2[k], eq);
+                // mag >= 0, so OR-ing the product sign bit equals the
+                // scalar ±mag selection bit for bit (including ±0.0).
+                __m256d sb = _mm256_and_pd(
+                    _mm256_xor_pd(signAcc[k], v), signMask);
+                _mm256_storeu_pd(cx.msg + e * W + 4 * k,
+                                 _mm256_or_pd(mag, sb));
+            }
+        }
+        for (std::size_t l = (std::size_t)NC * 4; l < W; ++l) {
+            if ((mask >> l) & 1) {
+                detPassLane(cx, (uint32_t)d, l);
+            }
+        }
+    }
+}
+
+template <int NC>
+__attribute__((target("avx2"))) void
+colPassAvx2(const LaneCtx &cx)
+{
+    const std::size_t W = cx.W;
+    const __m256d zero = _mm256_setzero_pd();
+    for (std::size_t c = 0; c < cx.numCols; ++c) {
+        uint32_t mask = cx.colMask[c];
+        if (mask == 0) {
+            continue;
+        }
+        uint32_t b = cx.colBegin[c], en = cx.colBegin[c + 1];
+        __m256d tot[NC];
+        for (int k = 0; k < NC; ++k) {
+            tot[k] = _mm256_set1_pd(cx.prior[c]);
+        }
+        for (uint32_t e = b; e < en; ++e) {
+            for (int k = 0; k < NC; ++k) {
+                tot[k] = _mm256_add_pd(
+                    tot[k],
+                    _mm256_loadu_pd(cx.msg + (std::size_t)e * W + 4 * k));
+            }
+        }
+        for (int k = 0; k < NC; ++k) {
+            // Unmasked: inactive lanes' posteriors are garbage nobody
+            // reads (a live lane rewrites its slice every iteration).
+            _mm256_storeu_pd(cx.post + (std::size_t)c * W + 4 * k, tot[k]);
+            uint32_t nib = (mask >> (4 * k)) & 0xf;
+            if (nib == 0) {
+                continue;
+            }
+            uint32_t hNow =
+                (uint32_t)_mm256_movemask_pd(
+                    _mm256_cmp_pd(tot[k], zero, _CMP_LT_OQ)) &
+                nib;
+            uint32_t hPrev = (cx.hardBits[c] >> (4 * k)) & 0xf;
+            uint32_t changed = hNow ^ hPrev;
+            if (changed != 0) {
+                cx.hardBits[c] ^= changed << (4 * k);
+                while (changed != 0) {
+                    std::size_t l =
+                        4 * k + (std::size_t)std::countr_zero(changed);
+                    for (uint32_t e = b; e < en; ++e) {
+                        std::size_t off =
+                            (std::size_t)cx.colDet[e] * W + l;
+                        cx.acc[off] ^= 1;
+                        cx.mismatch[l] +=
+                            (cx.acc[off] != cx.synB[off]) ? 1 : -1;
+                    }
+                    changed &= changed - 1;
+                }
+            }
+        }
+        for (uint32_t e = b; e < en; ++e) {
+            for (int k = 0; k < NC; ++k) {
+                std::size_t off = (std::size_t)e * W + 4 * k;
+                // In-place and unmasked: garbage lanes stay garbage, the
+                // detector pass's membership blend restores semantics.
+                _mm256_storeu_pd(
+                    cx.msg + off,
+                    _mm256_sub_pd(tot[k], _mm256_loadu_pd(cx.msg + off)));
+            }
+        }
+        for (std::size_t l = (std::size_t)NC * 4; l < W; ++l) {
+            if ((mask >> l) & 1) {
+                colPassLane(cx, (uint32_t)c, l);
+            }
+        }
+    }
+}
+
+#endif // PROPHUNT_LANES_X86
+
+/** Runtime kernel selection. PROPHUNT_NO_AVX2 forces the generic lanes —
+ * the cross-check the lane tests use on AVX2 hardware. */
+bool
+laneUseAvx2()
+{
+#if PROPHUNT_LANES_X86
+    return __builtin_cpu_supports("avx2") &&
+           std::getenv("PROPHUNT_NO_AVX2") == nullptr;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+void
+BpOsdDecoder::laneEnsure(std::size_t w)
+{
+    std::size_t edges = colDet_.size();
+    std::size_t ne = colDets_.size();
+    if (laneW_ == w && laneMsg_.size() == edges * w) {
+        return;
+    }
+    laneW_ = w;
+    laneMsg_.assign(edges * w, 0.0);
+    lanePost_.assign(ne * w, 0.0);
+    laneEdgeActive_.assign(edges, 0);
+    if (edgePrior_.empty()) {
+        edgePrior_.resize(edges);
+        for (std::size_t c = 0; c < ne; ++c) {
+            for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+                edgePrior_[e] = prior_[c];
+            }
+        }
+    }
+    std::size_t maxDeg = 0;
+    for (std::size_t d = 0; d < numDetectors_; ++d) {
+        maxDeg = std::max<std::size_t>(maxDeg,
+                                       detBegin_[d + 1] - detBegin_[d]);
+    }
+    laneStage_.assign(maxDeg * w, 0.0);
+    laneHardBits_.assign(ne, 0);
+    laneAcc_.assign(numDetectors_ * w, 0);
+    laneSynB_.assign(numDetectors_ * w, 0);
+    laneSynSign_.assign(numDetectors_ * w, 0.0);
+    colLaneMask_.assign(ne, 0);
+    detLaneMask_.assign(numDetectors_, 0);
+    laneCols_.assign(w, {});
+    laneFlipped_.assign(w, {});
+    laneShot_.assign(w, 0);
+    laneLive_.assign(w, 0);
+    laneMismatch_.assign(w, 0);
+    laneBest_.assign(w, 0);
+    laneSinceBest_.assign(w, 0);
+    laneIter_.assign(w, 0);
+}
+
+void
+BpOsdDecoder::laneInstall(std::size_t l, std::size_t shot,
+                          const std::vector<uint32_t> &flipped)
+{
+    const std::size_t W = laneW_;
+    uint32_t bit = uint32_t{1} << l;
+    uint16_t ebit = (uint16_t)(1u << l);
+    // The caller just grew the region into errs_; take it over wholesale.
+    laneCols_[l].swap(errs_);
+    laneFlipped_[l].assign(flipped.begin(), flipped.end());
+    for (uint32_t c : laneCols_[l]) {
+        colLaneMask_[c] |= bit;
+        for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+            laneEdgeActive_[e] |= ebit;
+            detLaneMask_[colDet_[e]] |= bit;
+        }
+    }
+    for (uint32_t d : laneFlipped_[l]) {
+        laneSynB_[(std::size_t)d * W + l] = 1;
+        laneSynSign_[(std::size_t)d * W + l] = -0.0;
+    }
+    laneShot_[l] = shot;
+    laneLive_[l] = 1;
+    // Hard decisions start all-zero, so every flipped detector mismatches.
+    laneMismatch_[l] = (std::ptrdiff_t)laneFlipped_[l].size();
+    laneBest_[l] = laneMismatch_[l];
+    laneSinceBest_[l] = 0;
+    laneIter_[l] = 0;
+}
+
+uint64_t
+BpOsdDecoder::laneRetire(std::size_t l, bool converged)
+{
+    const std::size_t W = laneW_;
+    uint32_t bit = uint32_t{1} << l;
+    uint16_t ebit = (uint16_t)(1u << l);
+    const std::vector<uint32_t> &cols = laneCols_[l];
+    uint64_t result = 0;
+    if (converged) {
+        for (uint32_t c : cols) {
+            if (laneHardBits_[c] & bit) {
+                result ^= colObs_[c];
+            }
+        }
+    } else {
+        // Rebuild the region's local detector numbering in the scalar
+        // discovery order and hand the lane's posterior slice to the
+        // shared OSD post-pass (gathered contiguous, as the sort wants).
+        regionDets_.clear();
+        osdPost_.resize(cols.size());
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            uint32_t c = cols[i];
+            osdPost_[i] = lanePost_[(std::size_t)c * W + l];
+            for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+                uint32_t d = colDet_[e];
+                if (detLocal_[d] < 0) {
+                    detLocal_[d] = (int32_t)regionDets_.size();
+                    regionDets_.push_back(d);
+                }
+            }
+        }
+        bool solved = osdSolve(cols, osdPost_.data(), laneFlipped_[l]);
+        if (solved) {
+            for (std::size_t i = 0; i < cols.size(); ++i) {
+                if (solUses_[i]) {
+                    result ^= colObs_[cols[i]];
+                }
+            }
+        }
+        for (uint32_t d : regionDets_) {
+            detLocal_[d] = -1;
+        }
+        if (!solved) {
+            // The scalar path's full-graph fallback (runRegion restores
+            // its own scratch; the lane arrays are untouched by it).
+            bool ok = false;
+            result = runRegion(allCols_, laneFlipped_[l], ok);
+        }
+    }
+    // Restore this lane's slice of every between-shot invariant with
+    // full-array sweeps: lane l's bits are only set inside its region, so
+    // clearing them everywhere is the same as walking the region, and the
+    // sweeps vectorize. The message array itself is NOT touched —
+    // clearing the active bits is what retires its slots.
+    for (std::size_t e = 0; e < laneEdgeActive_.size(); ++e) {
+        laneEdgeActive_[e] &= (uint16_t)~ebit;
+    }
+    for (std::size_t c = 0; c < colLaneMask_.size(); ++c) {
+        colLaneMask_[c] &= ~bit;
+        laneHardBits_[c] &= ~bit;
+    }
+    for (std::size_t d = 0; d < numDetectors_; ++d) {
+        detLaneMask_[d] &= ~bit;
+        laneAcc_[d * W + l] = 0;
+    }
+    for (uint32_t d : laneFlipped_[l]) {
+        laneSynB_[(std::size_t)d * W + l] = 0;
+        laneSynSign_[(std::size_t)d * W + l] = 0.0;
+    }
+    laneCols_[l].clear();
+    laneFlipped_[l].clear();
+    laneLive_[l] = 0;
+    return result;
+}
+
+void
+BpOsdDecoder::laneIterate(bool use_avx2)
+{
+    LaneCtx cx;
+    cx.W = laneW_;
+    cx.numDetectors = numDetectors_;
+    cx.numCols = colDets_.size();
+    cx.scale = opts_.scale;
+    cx.freshLanes = 0;
+    for (std::size_t l = 0; l < laneW_; ++l) {
+        if (laneLive_[l] && laneIter_[l] == 0) {
+            cx.freshLanes |= uint32_t{1} << l;
+        }
+    }
+    cx.colBegin = colBegin_.data();
+    cx.colDet = colDet_.data();
+    cx.detBegin = detBegin_.data();
+    cx.detEdges = detEdges_.data();
+    cx.prior = prior_.data();
+    cx.edgePrior = edgePrior_.data();
+    cx.msg = laneMsg_.data();
+    cx.stage = laneStage_.data();
+    cx.post = lanePost_.data();
+    cx.edgeActive = laneEdgeActive_.data();
+    cx.synSign = laneSynSign_.data();
+    cx.synB = laneSynB_.data();
+    cx.acc = laneAcc_.data();
+    cx.hardBits = laneHardBits_.data();
+    cx.detMask = detLaneMask_.data();
+    cx.colMask = colLaneMask_.data();
+    cx.mismatch = laneMismatch_.data();
+#if PROPHUNT_LANES_X86
+    if (use_avx2 && laneW_ == 8) {
+        detPassAvx2<2>(cx);
+        colPassAvx2<2>(cx);
+        return;
+    }
+    if (use_avx2 && laneW_ == 4) {
+        detPassAvx2<1>(cx);
+        colPassAvx2<1>(cx);
+        return;
+    }
+    if (use_avx2 && laneW_ == 16) {
+        detPassAvx2<4>(cx);
+        colPassAvx2<4>(cx);
+        return;
+    }
+#else
+    (void)use_avx2;
+#endif
+    detPassGeneric(cx);
+    colPassGeneric(cx);
+}
+
+void
+BpOsdDecoder::decodePacked(const sim::FrameView &frames, uint64_t *obs_out,
+                           PackedDecodeStats *stats)
+{
+    std::size_t W = std::min(opts_.laneWidth, kMaxLaneWidth);
+    if (W == 0) {
+        // Scalar reference path: the base adapter (one transpose, then the
+        // PR 2 batched decode).
+        Decoder::decodePacked(frames, obs_out, stats);
+        return;
+    }
+    std::size_t shots = frames.shots;
+    if (stats != nullptr) {
+        stats->packedShots += shots;
+    }
+    if (shots == 0) {
+        return;
+    }
+    laneEnsure(W);
+
+    // Per-shot flipped-detector lists straight from the detector-major
+    // words (two counting-sort passes). Scanning detectors in ascending
+    // order leaves every per-shot list sorted, as decode() expects.
+    packedOffsets_.assign(shots + 1, 0);
+    for (std::size_t d = 0; d < frames.numDetectors; ++d) {
+        const uint64_t *row = frames.detRow(d);
+        for (std::size_t w = 0; w < frames.shotWords; ++w) {
+            uint64_t word = row[w];
+            while (word != 0) {
+                ++packedOffsets_[(w << 6) +
+                                 (std::size_t)std::countr_zero(word) + 1];
+                word &= word - 1;
+            }
+        }
+    }
+    for (std::size_t s = 0; s < shots; ++s) {
+        packedOffsets_[s + 1] += packedOffsets_[s];
+    }
+    packedFlipped_.resize(packedOffsets_[shots]);
+    packedFill_.assign(packedOffsets_.begin(), packedOffsets_.end() - 1);
+    for (std::size_t d = 0; d < frames.numDetectors; ++d) {
+        const uint64_t *row = frames.detRow(d);
+        for (std::size_t w = 0; w < frames.shotWords; ++w) {
+            uint64_t word = row[w];
+            while (word != 0) {
+                std::size_t s =
+                    (w << 6) + (std::size_t)std::countr_zero(word);
+                packedFlipped_[packedFill_[s]++] = (uint32_t)d;
+                word &= word - 1;
+            }
+        }
+    }
+
+    // Route shots: trivial syndromes resolve inline, the rest queue for
+    // the lanes.
+    laneQueue_.clear();
+    for (std::size_t s = 0; s < shots; ++s) {
+        uint32_t fb = packedOffsets_[s], fe = packedOffsets_[s + 1];
+        if (fb == fe) {
+            obs_out[s] = 0;
+            continue;
+        }
+        flippedScratch_.assign(packedFlipped_.begin() + fb,
+                               packedFlipped_.begin() + fe);
+        auto hit = single_.find(flippedScratch_);
+        if (hit != single_.end()) {
+            obs_out[s] = hit->second.first;
+            continue;
+        }
+        if (opts_.maxIterations == 0) {
+            // Zero-iteration BP goes straight to OSD in the scalar path;
+            // serve this pathological config from there instead of
+            // special-casing the lane loop.
+            obs_out[s] = decodeFast(flippedScratch_);
+            continue;
+        }
+        bool disconnected = false;
+        for (uint32_t d : flippedScratch_) {
+            if (detBegin_[d + 1] == detBegin_[d]) {
+                disconnected = true;
+                break;
+            }
+        }
+        if (disconnected) {
+            // A flipped detector with no incident error is unexplainable
+            // even on the full graph; the scalar path returns 0.
+            obs_out[s] = 0;
+            continue;
+        }
+        laneQueue_.push_back((uint32_t)s);
+    }
+
+    bool avx2 = W >= 4 && laneUseAvx2();
+    std::size_t next = 0;
+    std::size_t live = 0;
+    for (;;) {
+        // Refill free lanes from the queue.
+        for (std::size_t l = 0; l < W; ++l) {
+            while (!laneLive_[l] && next < laneQueue_.size()) {
+                std::size_t s = laneQueue_[next++];
+                uint32_t fb = packedOffsets_[s], fe = packedOffsets_[s + 1];
+                flippedScratch_.assign(packedFlipped_.begin() + fb,
+                                       packedFlipped_.begin() + fe);
+                growRegion(flippedScratch_);
+                if (errs_.empty()) {
+                    // regionRadius == 0: the scalar path's region attempt
+                    // is infeasible and it decodes on the full graph.
+                    bool ok = false;
+                    obs_out[s] = runRegion(allCols_, flippedScratch_, ok);
+                    continue;
+                }
+                laneInstall(l, s, flippedScratch_);
+                ++live;
+            }
+        }
+        if (live == 0) {
+            break;
+        }
+        laneIterate(avx2);
+        if (stats != nullptr) {
+            stats->laneSlotsBusy += live;
+            stats->laneSlotsTotal += W;
+        }
+        // Per-lane stopping rules, mirroring the scalar iteration loop.
+        for (std::size_t l = 0; l < W; ++l) {
+            if (!laneLive_[l]) {
+                continue;
+            }
+            ++laneIter_[l];
+            bool converged = laneMismatch_[l] == 0;
+            bool done = converged;
+            if (!converged) {
+                if (opts_.stagnationWindow != 0) {
+                    if (laneMismatch_[l] < laneBest_[l]) {
+                        laneBest_[l] = laneMismatch_[l];
+                        laneSinceBest_[l] = 0;
+                    } else if (++laneSinceBest_[l] >=
+                               opts_.stagnationWindow) {
+                        done = true; // Stagnated; posteriors go to OSD.
+                    }
+                }
+                if (laneIter_[l] >= opts_.maxIterations) {
+                    done = true;
+                }
+            }
+            if (done) {
+                obs_out[laneShot_[l]] = laneRetire(l, converged);
+                --live;
+            }
+        }
+    }
+}
+
+} // namespace prophunt::decoder

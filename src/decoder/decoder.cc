@@ -13,4 +13,19 @@ Decoder::decodeBatch(const sim::SampleBatch &batch, std::size_t first,
     }
 }
 
+void
+Decoder::decodePacked(const sim::FrameView &frames, uint64_t *obs_out,
+                      PackedDecodeStats *stats)
+{
+    // Adapter for row-layout decoders: one transpose, then the batched
+    // path. The transpose dominates the adapter's cost, so the scratch
+    // batch being per-call is noise.
+    sim::SampleBatch rows;
+    sim::transposeView(frames, rows);
+    decodeBatch(rows, 0, frames.shots, obs_out);
+    if (stats != nullptr) {
+        stats->adapterShots += frames.shots;
+    }
+}
+
 } // namespace prophunt::decoder

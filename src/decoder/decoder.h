@@ -14,9 +14,46 @@
 #include <memory>
 #include <vector>
 
+#include "sim/frame_sampler.h"
 #include "sim/sampler.h"
 
 namespace prophunt::decoder {
+
+/**
+ * Counters describing how a packed decode was served.
+ *
+ * `packedShots` went down a native frame-layout path; `adapterShots` were
+ * transposed into row layout and routed through decodeBatch by the base
+ * adapter. The lane counters expose the lane engine's occupancy: busy is
+ * the number of (lane, BP-iteration) slots that carried a live shot,
+ * total is laneWidth times the iterations the engine ran.
+ */
+struct PackedDecodeStats
+{
+    uint64_t packedShots = 0;
+    uint64_t adapterShots = 0;
+    uint64_t laneSlotsBusy = 0;
+    uint64_t laneSlotsTotal = 0;
+
+    /** Mean fraction of lanes carrying a live shot (0 when no lane ran). */
+    double
+    laneOccupancy() const
+    {
+        return laneSlotsTotal == 0
+                   ? 0.0
+                   : (double)laneSlotsBusy / (double)laneSlotsTotal;
+    }
+
+    PackedDecodeStats &
+    operator+=(const PackedDecodeStats &o)
+    {
+        packedShots += o.packedShots;
+        adapterShots += o.adapterShots;
+        laneSlotsBusy += o.laneSlotsBusy;
+        laneSlotsTotal += o.laneSlotsTotal;
+        return *this;
+    }
+};
 
 /** Abstract syndrome decoder. */
 class Decoder
@@ -42,6 +79,21 @@ class Decoder
      */
     virtual void decodeBatch(const sim::SampleBatch &batch, std::size_t first,
                              std::size_t count, uint64_t *obs_out);
+
+    /**
+     * Decode every shot of a bit-packed, detector-major frame view.
+     *
+     * The packed pipeline entry point: the sampler's frame layout flows in
+     * unchanged and one observable mask per shot comes out. Must match
+     * per-shot decode() bit for bit. The default implementation transposes
+     * the view once and falls back to decodeBatch, so row-layout decoders
+     * (union-find, matching, MLE) are served unchanged; decoders with a
+     * native packed path (BP+OSD lanes) override it and skip the
+     * transpose. @p stats, when non-null, is accumulated into — it is
+     * never reset here.
+     */
+    virtual void decodePacked(const sim::FrameView &frames, uint64_t *obs_out,
+                              PackedDecodeStats *stats = nullptr);
 
     /**
      * Independent copy for another worker thread.

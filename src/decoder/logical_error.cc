@@ -12,11 +12,20 @@
 
 namespace prophunt::decoder {
 
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 const char *
 decoderName(DecoderKind kind)
 {
     return kind == DecoderKind::UnionFind ? "union_find" : "bp_osd";
 }
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 std::unique_ptr<Decoder>
 makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
@@ -25,6 +34,11 @@ makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
     return Registry::make(spec, dem, circuit);
 }
 
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 std::unique_ptr<Decoder>
 makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
             DecoderKind kind)
@@ -32,35 +46,42 @@ makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
     return makeDecoder(dem, circuit, DecoderSpec{decoderName(kind)});
 }
 
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
 namespace {
 
-/** Per-worker storage reused across shards: packed frames, the transposed
- * row batch, and the prediction buffer. */
+/** Per-worker storage reused across shards: per-shot predictions and the
+ * observable masks read straight from the frame rows. */
 struct ShardWorkspace
 {
-    sim::FrameBatch frames;
-    sim::SampleBatch rows;
     std::vector<uint64_t> predictions;
+    std::vector<uint64_t> obsMasks;
+    PackedDecodeStats stats;
 };
 
 /**
- * Sample and decode one shard; returns its failure count.
+ * Decode one sampled shard; returns its failure count.
  *
- * The shard is sampled word-packed, transposed once into row layout, and
- * decoded through decodeBatch — identical bits and predictions to the
- * scalar per-shot path, without its per-shot allocations.
+ * Frames flow into the decoder packed (decodePacked): decoders with a
+ * native frame path (BP+OSD lanes) never see a transpose, everything
+ * else is adapted inside the default implementation. The expected
+ * observable masks are likewise read from the frame rows, so the 64x64
+ * transpose survives only inside the adapter for non-packed decoders.
+ * Identical bits and predictions to the scalar per-shot path.
  */
 std::size_t
-decodeShard(const sim::Dem &dem, Decoder &dec, std::size_t shard_shots,
-            uint64_t shard_seed, ShardWorkspace &ws)
+decodeShard(Decoder &dec, const sim::FrameBatch &frames, ShardWorkspace &ws)
 {
-    sim::sampleDemFramesInto(dem, shard_shots, shard_seed, ws.frames);
-    sim::transposeFrames(ws.frames, ws.rows);
+    std::size_t shard_shots = frames.shots;
     ws.predictions.resize(shard_shots);
-    dec.decodeBatch(ws.rows, 0, shard_shots, ws.predictions.data());
+    ws.stats = PackedDecodeStats{};
+    dec.decodePacked(frames.view(), ws.predictions.data(), &ws.stats);
+    frames.obsMasks(ws.obsMasks);
     std::size_t failures = 0;
     for (std::size_t s = 0; s < shard_shots; ++s) {
-        if (ws.predictions[s] != ws.rows.obsMask(s)) {
+        if (ws.predictions[s] != ws.obsMasks[s]) {
             ++failures;
         }
     }
@@ -73,15 +94,17 @@ LerResult
 measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
               uint64_t seed, const LerOptions &opts)
 {
-    sim::ShardPlan plan{shots, std::max<std::size_t>(opts.shardShots, 1)};
-    std::size_t n = plan.numShards();
     LerResult result;
-    if (n == 0) {
+    if (shots == 0) {
+        // Well-formed empty run: no sampling, no decoder work, zeroed
+        // counters (the engine relies on this for zero-shot requests).
         return result;
     }
-
-    // Validate before spawning: a throw inside a pool worker terminates.
-    sim::validateDemProbabilities(dem, "measureDemLer");
+    // A shard larger than the run is just one shard; clamping keeps the
+    // shard seeds identical to an exact-fit plan.
+    sim::ShardPlan plan{
+        shots, std::min(std::max<std::size_t>(opts.shardShots, 1), shots)};
+    std::size_t n = plan.numShards();
 
     // Per-worker decoders: worker 0 uses the caller's, the rest clones.
     std::size_t workers = sim::shardWorkers(plan, opts.threads);
@@ -93,21 +116,25 @@ measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
 
     std::vector<ShardWorkspace> workspaces(workers);
     std::vector<std::size_t> shardFailures(n, 0);
+    std::vector<PackedDecodeStats> shardStats(n);
     std::vector<uint8_t> shardDone(n, 0);
     std::atomic<bool> stop{false};
     std::mutex prefixMutex;
     std::size_t prefixEnd = 0;
     std::size_t prefixFailures = 0;
 
-    sim::forEachShard(
-        plan, opts.threads,
-        [&](std::size_t shard, std::size_t worker) {
+    // forEachFrameShard validates the DEM before spawning workers and
+    // hands each shard to the decoder still word-packed.
+    sim::forEachFrameShard(
+        dem, plan, seed, opts.threads,
+        [&](std::size_t shard, std::size_t worker,
+            const sim::FrameBatch &frames) {
             Decoder &d = worker == 0 ? dec : *clones[worker - 1];
-            std::size_t f = decodeShard(dem, d, plan.shotsOf(shard),
-                                        sim::shardSeed(seed, shard),
-                                        workspaces[worker]);
+            ShardWorkspace &ws = workspaces[worker];
+            std::size_t f = decodeShard(d, frames, ws);
             std::lock_guard<std::mutex> lock(prefixMutex);
             shardFailures[shard] = f;
+            shardStats[shard] = ws.stats;
             shardDone[shard] = 1;
             // Advance the contiguous completed prefix; early stopping only
             // triggers off in-order results so the final accounting below
@@ -125,13 +152,15 @@ measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
     // Deterministic accounting: walk shards in index order and truncate at
     // the first shard whose cumulative failures reach the target. Shards a
     // fast worker finished beyond the cut are discarded, which makes
-    // failures/shots independent of the thread count.
+    // failures/shots — and the packed-path telemetry — independent of the
+    // thread count.
     for (std::size_t shard = 0; shard < n; ++shard) {
         if (!shardDone[shard]) {
             break;
         }
         result.shots += plan.shotsOf(shard);
         result.failures += shardFailures[shard];
+        result.packed += shardStats[shard];
         if (opts.maxFailures != 0 && result.failures >= opts.maxFailures) {
             result.earlyStopped = shard + 1 < n;
             break;
@@ -181,6 +210,11 @@ measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
                             LerOptions{});
 }
 
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 MemoryLer
 measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
                  const sim::NoiseModel &noise, DecoderKind kind,
@@ -200,5 +234,9 @@ measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
                             DecoderSpec{decoderName(kind)}, shots, seed,
                             LerOptions{});
 }
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 } // namespace prophunt::decoder

@@ -23,31 +23,57 @@
 
 namespace prophunt::decoder {
 
+// The legacy closed DecoderKind enum and its overloads are deprecated:
+// pass a DecoderSpec ("union_find", "bp_osd", ...) instead; see
+// decoder/registry.h. Removal timeline: the alias is emit-a-warning
+// deprecated as of PR 4 and will be deleted outright in PR 6 — migrate
+// now. The pragmas keep this header itself warning-clean under -Werror;
+// call sites still get the deprecation diagnostics.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 /**
  * Decoder selection for LER measurements.
  *
  * Deprecated compatibility alias over registry names: new code should
- * pass a DecoderSpec ("union_find", "bp_osd", ...) instead; see
- * decoder/registry.h.
+ * pass a DecoderSpec ("union_find", "bp_osd", ...) instead.
  */
-enum class DecoderKind
+enum class [[deprecated(
+    "use DecoderSpec registry names (\"union_find\", \"bp_osd\"); "
+    "DecoderKind will be removed in PR 6")]] DecoderKind
 {
     UnionFind, ///< Matching decoder, for surface codes.
     BpOsd,     ///< LDPC decoder, for LP/RQT codes.
 };
 
 /** Registry name of a legacy DecoderKind value. */
-const char *decoderName(DecoderKind kind);
+[[deprecated("use DecoderSpec registry names directly")]] const char *
+decoderName(DecoderKind kind);
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 /** Build a decoder for a DEM through the registry. */
 std::unique_ptr<Decoder> makeDecoder(const sim::Dem &dem,
                                      const circuit::SmCircuit &circuit,
                                      const DecoderSpec &spec);
 
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 /** Deprecated: DecoderKind compatibility overload. */
-std::unique_ptr<Decoder> makeDecoder(const sim::Dem &dem,
-                                     const circuit::SmCircuit &circuit,
-                                     DecoderKind kind);
+[[deprecated("pass a DecoderSpec instead")]] std::unique_ptr<Decoder>
+makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
+            DecoderKind kind);
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 /** Outcome of one Monte-Carlo LER estimate. */
 struct LerResult
@@ -56,6 +82,12 @@ struct LerResult
     std::size_t failures = 0;
     /** True iff early stopping cut the run before the full shot budget. */
     bool earlyStopped = false;
+    /**
+     * How the counted shots were decoded (native packed vs transpose
+     * adapter, lane occupancy). Accounted over the same deterministic
+     * shard prefix as shots/failures, so it is thread-count invariant.
+     */
+    PackedDecodeStats packed;
 
     double
     ler() const
@@ -138,15 +170,24 @@ MemoryLer measureMemoryLer(const circuit::SmSchedule &schedule,
                            const DecoderSpec &spec, std::size_t shots,
                            uint64_t seed);
 
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 /** Deprecated: DecoderKind compatibility overloads. */
-MemoryLer measureMemoryLer(const circuit::SmSchedule &schedule,
-                           std::size_t rounds, const sim::NoiseModel &noise,
-                           DecoderKind kind, std::size_t shots, uint64_t seed,
-                           const LerOptions &opts);
-MemoryLer measureMemoryLer(const circuit::SmSchedule &schedule,
-                           std::size_t rounds, const sim::NoiseModel &noise,
-                           DecoderKind kind, std::size_t shots,
-                           uint64_t seed);
+[[deprecated("pass a DecoderSpec instead")]] MemoryLer
+measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
+                 const sim::NoiseModel &noise, DecoderKind kind,
+                 std::size_t shots, uint64_t seed, const LerOptions &opts);
+[[deprecated("pass a DecoderSpec instead")]] MemoryLer
+measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
+                 const sim::NoiseModel &noise, DecoderKind kind,
+                 std::size_t shots, uint64_t seed);
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 } // namespace prophunt::decoder
 

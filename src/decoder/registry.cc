@@ -45,7 +45,8 @@ DecoderSpec::describe() const
     } else if (const auto *bp = std::get_if<BpOsdOptions>(&options)) {
         os << "{maxIterations=" << bp->maxIterations
            << ",scale=" << bp->scale << ",regionRadius=" << bp->regionRadius
-           << ",stagnationWindow=" << bp->stagnationWindow << "}";
+           << ",stagnationWindow=" << bp->stagnationWindow
+           << ",laneWidth=" << bp->laneWidth << "}";
     } else if (const auto *mle = std::get_if<MleOptions>(&options)) {
         os << "{maxWeight=" << mle->maxWeight << "}";
     }

@@ -1,6 +1,7 @@
 #include "sim/frame_sampler.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/event_stream.h"
 #include "sim/rng.h"
@@ -116,14 +117,57 @@ transposeFrames(const FrameBatch &frames, std::size_t det_words,
 void
 transposeFrames(const FrameBatch &frames, SampleBatch &out)
 {
-    out.shots = frames.shots;
-    out.detWords = (frames.numDetectors + 63) / 64;
-    out.obsWords =
-        (std::max<std::size_t>(frames.numObservables, 1) + 63) / 64;
-    out.det.resize(frames.shots * out.detWords);
-    out.obs.resize(frames.shots * out.obsWords);
-    transposeFrames(frames, out.detWords, out.obsWords, out.det.data(),
-                    out.obs.data());
+    transposeView(frames.view(), out);
+}
+
+void
+transposeView(const FrameView &view, SampleBatch &out)
+{
+    out.shots = view.shots;
+    out.detWords = (view.numDetectors + 63) / 64;
+    out.obsWords = (std::max<std::size_t>(view.numObservables, 1) + 63) / 64;
+    out.det.resize(view.shots * out.detWords);
+    out.obs.resize(view.shots * out.obsWords);
+    transposePlane(view.det, view.numDetectors, view.shotWords, view.shots,
+                   out.detWords, out.det.data());
+    if (view.obs != nullptr) {
+        transposePlane(view.obs, view.numObservables, view.shotWords,
+                       view.shots, out.obsWords, out.obs.data());
+    } else {
+        std::fill(out.obs.begin(), out.obs.end(), 0);
+    }
+}
+
+FrameView
+FrameBatch::view() const
+{
+    FrameView v;
+    v.det = det.data();
+    v.obs = obs.empty() ? nullptr : obs.data();
+    v.shots = shots;
+    v.shotWords = shotWords;
+    v.numDetectors = numDetectors;
+    v.numObservables = numObservables;
+    return v;
+}
+
+void
+FrameBatch::obsMasks(std::vector<uint64_t> &out) const
+{
+    out.assign(shots, 0);
+    std::size_t rows = std::min<std::size_t>(numObservables, 64);
+    for (std::size_t o = 0; o < rows; ++o) {
+        const uint64_t *row = obs.data() + o * shotWords;
+        uint64_t bit = uint64_t{1} << o;
+        for (std::size_t w = 0; w < shotWords; ++w) {
+            uint64_t word = row[w];
+            while (word != 0) {
+                std::size_t shot = w * 64 + (std::size_t)std::countr_zero(word);
+                out[shot] |= bit;
+                word &= word - 1;
+            }
+        }
+    }
 }
 
 } // namespace prophunt::sim

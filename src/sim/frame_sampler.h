@@ -25,6 +25,38 @@
 
 namespace prophunt::sim {
 
+/**
+ * Non-owning view of frame-layout (detector-major, 64 shots per word)
+ * outcomes.
+ *
+ * This is the type the packed decode path consumes
+ * (decoder::Decoder::decodePacked): decoders that understand the frame
+ * layout read detector rows directly, everything else is adapted through
+ * one transpose. @p obs may be null — decoding only needs detectors.
+ */
+struct FrameView
+{
+    const uint64_t *det = nullptr;
+    const uint64_t *obs = nullptr;
+    std::size_t shots = 0;
+    /** Words per detector/observable row: ceil(shots / 64). */
+    std::size_t shotWords = 0;
+    std::size_t numDetectors = 0;
+    std::size_t numObservables = 0;
+
+    const uint64_t *
+    detRow(std::size_t d) const
+    {
+        return det + d * shotWords;
+    }
+
+    bool
+    detBit(std::size_t d, std::size_t shot) const
+    {
+        return (detRow(d)[shot >> 6] >> (shot & 63)) & 1;
+    }
+};
+
 /** Bit-packed outcomes in frame layout: 64 shots per word, detector-major. */
 struct FrameBatch
 {
@@ -49,6 +81,16 @@ struct FrameBatch
     {
         return (obs[o * shotWords + (shot >> 6)] >> (shot & 63)) & 1;
     }
+
+    /** View of this batch (obs included when present). */
+    FrameView view() const;
+
+    /**
+     * Observable flip masks (first 64 observables) of every shot, read
+     * straight from the frame rows into @p out — the packed pipeline's
+     * replacement for transposing the observable plane.
+     */
+    void obsMasks(std::vector<uint64_t> &out) const;
 };
 
 /**
@@ -84,6 +126,15 @@ void transposeFrames(const FrameBatch &frames, std::size_t det_words,
 /** Transpose a frame batch into a row-layout SampleBatch, reusing its
  * storage. */
 void transposeFrames(const FrameBatch &frames, SampleBatch &out);
+
+/**
+ * Transpose a frame view into a row-layout SampleBatch, reusing its
+ * storage.
+ *
+ * The adapter behind Decoder::decodePacked for decoders without a native
+ * packed path. A null @p view.obs leaves the observable rows zeroed.
+ */
+void transposeView(const FrameView &view, SampleBatch &out);
 
 } // namespace prophunt::sim
 

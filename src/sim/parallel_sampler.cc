@@ -141,6 +141,28 @@ validateDemProbabilities(const Dem &dem, const char *where)
     }
 }
 
+void
+forEachFrameShard(
+    const Dem &dem, const ShardPlan &plan, uint64_t seed,
+    std::size_t threads,
+    const std::function<void(std::size_t, std::size_t, const FrameBatch &)>
+        &fn,
+    const std::atomic<bool> *stop)
+{
+    // Validate up front: a throw inside a worker would terminate.
+    validateDemProbabilities(dem, "forEachFrameShard");
+    std::vector<FrameBatch> scratch(shardWorkers(plan, threads));
+    forEachShard(
+        plan, threads,
+        [&](std::size_t shard, std::size_t worker) {
+            FrameBatch &frames = scratch[worker];
+            sampleDemFramesInto(dem, plan.shotsOf(shard),
+                                shardSeed(seed, shard), frames);
+            fn(shard, worker, frames);
+        },
+        stop);
+}
+
 SampleBatch
 sampleDemSharded(const Dem &dem, std::size_t shots, uint64_t seed,
                  std::size_t threads, std::size_t shard_shots)
@@ -152,23 +174,18 @@ sampleDemSharded(const Dem &dem, std::size_t shots, uint64_t seed,
     batch.det.assign(shots * batch.detWords, 0);
     batch.obs.assign(shots * batch.obsWords, 0);
 
-    // Validate up front: a throw inside a worker would terminate.
-    validateDemProbabilities(dem, "sampleDemSharded");
-
     // Each shard is sampled word-packed (frame layout) and transposed into
     // its row range; the packed sampler consumes the RNG stream exactly as
     // the scalar one, so the batch is unchanged bit for bit.
     ShardPlan plan{shots, std::max<std::size_t>(shard_shots, 1)};
-    std::vector<FrameBatch> scratch(shardWorkers(plan, threads));
-    forEachShard(plan, threads, [&](std::size_t shard, std::size_t worker) {
-        FrameBatch &frames = scratch[worker];
-        std::size_t off = plan.offsetOf(shard);
-        sampleDemFramesInto(dem, plan.shotsOf(shard),
-                            shardSeed(seed, shard), frames);
-        transposeFrames(frames, batch.detWords, batch.obsWords,
-                        batch.det.data() + off * batch.detWords,
-                        batch.obs.data() + off * batch.obsWords);
-    });
+    forEachFrameShard(
+        dem, plan, seed, threads,
+        [&](std::size_t shard, std::size_t, const FrameBatch &frames) {
+            std::size_t off = plan.offsetOf(shard);
+            transposeFrames(frames, batch.detWords, batch.obsWords,
+                            batch.det.data() + off * batch.detWords,
+                            batch.obs.data() + off * batch.obsWords);
+        });
     return batch;
 }
 

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/frame_sampler.h"
 #include "sim/sampler.h"
 
 namespace prophunt::sim {
@@ -97,6 +98,24 @@ void parallelFor(std::size_t n, std::size_t threads,
 void forEachShard(const ShardPlan &plan, std::size_t threads,
                   const std::function<void(std::size_t, std::size_t)> &fn,
                   const std::atomic<bool> *stop = nullptr);
+
+/**
+ * Sample every shard of @p plan word-packed and hand each to @p fn.
+ *
+ * The one sampling driver behind both the row-batch API
+ * (sampleDemSharded transposes each shard into its row range) and the
+ * packed decode pipeline (measureDemLer hands the frames straight to
+ * Decoder::decodePacked). @p fn(shard, worker, frames) receives the
+ * shard's outcomes in per-worker scratch that is reused across shards;
+ * shard semantics (seeding, claim order, @p stop) are those of
+ * forEachShard. Validates the DEM before spawning workers.
+ */
+void forEachFrameShard(
+    const Dem &dem, const ShardPlan &plan, uint64_t seed,
+    std::size_t threads,
+    const std::function<void(std::size_t, std::size_t, const FrameBatch &)>
+        &fn,
+    const std::atomic<bool> *stop = nullptr);
 
 /**
  * Sample @p shots shots from @p dem across @p threads workers.
