@@ -37,7 +37,8 @@ struct Telemetry
     /** Total shots actually sampled (both bases). */
     std::size_t shots = 0;
     /** Packed-decode path counters: native packed vs transpose-adapter
-     * shots and the lane engine's occupancy (decoder/decoder.h). */
+     * shots, the lane engine's occupancy, and the batched OSD
+     * post-pass's osdShots/osdUs (decoder/decoder.h). */
     decoder::PackedDecodeStats packed;
 
     Telemetry &

@@ -18,6 +18,31 @@ namespace {
  */
 constexpr double kInactive = 1e300;
 
+/**
+ * Elimination usually terminates within a few dozen columns, so on large
+ * regions only the most likely prefix is sorted up front; the tail is
+ * sorted lazily if ever reached. The reference-exact mode keeps the full
+ * sort so column order matches bit for bit.
+ */
+constexpr std::size_t kOsdPrefix = 512;
+
+/**
+ * Map a posterior to a uint64 whose integer order equals double order.
+ * -0.0 is collapsed onto +0.0 first so key equality matches double
+ * equality exactly — the column-id tie-break must fire for the same
+ * pairs as a (post, col) comparator would. Finite and infinite values
+ * order correctly; posteriors are never NaN.
+ */
+inline uint64_t
+osdPostKey(double v)
+{
+    if (v == 0.0) {
+        v = 0.0;
+    }
+    uint64_t b = std::bit_cast<uint64_t>(v);
+    return (b & (uint64_t{1} << 63)) != 0 ? ~b : (b | (uint64_t{1} << 63));
+}
+
 } // namespace
 
 BpOsdDecoder::BpOsdDecoder(const sim::Dem &dem, BpOsdOptions opts)
@@ -113,6 +138,17 @@ BpOsdDecoder::BpOsdDecoder(const sim::Dem &dem, BpOsdOptions opts)
                                        detBegin_[d + 1] - detBegin_[d]);
     }
     edgeNeg_.assign(maxDeg, 0);
+    satFromDet_.assign(numDetectors_, -1);
+    // Reach bitmaps pay one BFS per distinct seed detector and then
+    // replace every later BFS with an OR; cap the matrix at a size where
+    // that trade is obviously right (32 MB covers every benchmark code
+    // by orders of magnitude). The matrix itself is allocated lazily on
+    // the first growRegion — engine caches hold prototype decoders that
+    // are only ever clone()d, and per-worker clones should not each
+    // commit megabytes before decoding a single shot.
+    std::size_t reachWords = (ne + 63) / 64;
+    reachEnabled_ = ne > 0 && numDetectors_ > 0 &&
+                    numDetectors_ * reachWords * 8 <= 32u << 20;
 }
 
 uint64_t
@@ -284,29 +320,126 @@ bool
 BpOsdDecoder::osdSolve(const std::vector<uint32_t> &cols, const double *post,
                        const std::vector<uint32_t> &flipped)
 {
+    return osdSolveImpl(cols, post, flipped, opts_.packedOsd, nullptr,
+                        false);
+}
+
+bool
+BpOsdDecoder::osdSolveImpl(const std::vector<uint32_t> &cols,
+                           const double *post,
+                           const std::vector<uint32_t> &flipped, bool packed,
+                           OsdColCache *cache, bool global_rows)
+{
     // OSD-0: process columns in decreasing error likelihood (ascending
     // posterior LLR) and solve H x = s by incremental elimination on
-    // column vectors over the local detectors.
-    std::size_t ne = cols.size(), nd = regionDets_.size();
-    order_.resize(ne);
-    std::iota(order_.begin(), order_.end(), 0);
-    auto byPosterior = [&](uint32_t a, uint32_t b) {
-        return post[a] < post[b];
-    };
-    // Elimination usually terminates within a few dozen columns, so on
-    // large regions only the most likely prefix is sorted up front; the
-    // tail is sorted lazily if ever reached. The reference-exact mode
-    // keeps the full sort so column order matches bit for bit.
-    constexpr std::size_t kOsdPrefix = 512;
+    // column vectors over the local detectors. Ties are broken by global
+    // column id: the pivot order must be identical across elimination
+    // backends, sort strategies (full vs lazy prefix), and region
+    // discovery orders even when posteriors collide exactly (duplicated
+    // priors make that common, not hypothetical). The ranking runs on
+    // flat OsdKey records — the indirect double comparator, not the
+    // elimination, used to dominate the post-pass on large regions.
+    std::size_t ne = cols.size();
+    osdKeys_.resize(ne);
+    for (std::size_t i = 0; i < ne; ++i) {
+        osdKeys_[i] = OsdKey{osdPostKey(post[i]), cols[i], (uint32_t)i};
+    }
     bool fullSort = opts_.stagnationWindow == 0 || ne <= kOsdPrefix;
     if (fullSort) {
-        std::sort(order_.begin(), order_.end(), byPosterior);
+        std::sort(osdKeys_.begin(), osdKeys_.end());
+        osdSortedPrefix_ = ne;
     } else {
-        std::nth_element(order_.begin(), order_.begin() + kOsdPrefix,
-                         order_.end(), byPosterior);
-        std::sort(order_.begin(), order_.begin() + kOsdPrefix, byPosterior);
+        std::nth_element(osdKeys_.begin(), osdKeys_.begin() + kOsdPrefix,
+                         osdKeys_.end());
+        std::sort(osdKeys_.begin(), osdKeys_.begin() + kOsdPrefix);
+        osdSortedPrefix_ = kOsdPrefix;
     }
+    if (packed) {
+        return osdSolvePacked(cols, flipped, cache, global_rows);
+    }
+    return osdSolveScalar(cols, flipped);
+}
 
+void
+BpOsdDecoder::osdSortTail()
+{
+    std::sort(osdKeys_.begin() + osdSortedPrefix_, osdKeys_.end());
+    osdSortedPrefix_ = osdKeys_.size();
+}
+
+bool
+BpOsdDecoder::osdSolvePacked(const std::vector<uint32_t> &cols,
+                             const std::vector<uint32_t> &flipped,
+                             OsdColCache *cache, bool global_rows)
+{
+    // Row numbering: the region-local detLocal_ map when the caller has
+    // one anyway (runRegion, the scalar reference comparisons), the
+    // global detector ids when it does not (the batched flush) — the
+    // solution is row-numbering invariant, and global rows make the
+    // per-job detLocal_ rebuild plus one indirection per gathered bit
+    // disappear.
+    std::size_t ne = cols.size();
+    std::size_t nd = global_rows ? numDetectors_ : regionDets_.size();
+    std::size_t words = (nd + 63) / 64;
+    elim_.begin(nd);
+    for (uint32_t d : flipped) {
+        elim_.setSyndromeBit(global_rows ? d : (std::size_t)detLocal_[d]);
+    }
+    solUses_.assign(ne, 0);
+    osdPushPos_.clear();
+    bool solved = false;
+    for (std::size_t oi = 0; oi < ne; ++oi) {
+        if (oi == osdSortedPrefix_) {
+            osdSortTail();
+        }
+        uint32_t oc = osdKeys_[oi].pos;
+        uint32_t gc = cols[oc];
+        const uint64_t *colBits;
+        if (cache != nullptr) {
+            // Shared lazily built packed column: one gather per column
+            // per flush group, not per shot.
+            uint64_t *bits = cache->bits.row(oc);
+            if (!cache->built[oc]) {
+                cache->built[oc] = 1;
+                for (uint32_t e = colBegin_[gc]; e < colBegin_[gc + 1];
+                     ++e) {
+                    uint32_t ld = global_rows
+                                      ? colDet_[e]
+                                      : (uint32_t)detLocal_[colDet_[e]];
+                    bits[ld >> 6] |= uint64_t{1} << (ld & 63);
+                }
+            }
+            colBits = bits;
+        } else {
+            colWords_.assign(words, 0);
+            for (uint32_t e = colBegin_[gc]; e < colBegin_[gc + 1]; ++e) {
+                uint32_t ld = global_rows
+                                  ? colDet_[e]
+                                  : (uint32_t)detLocal_[colDet_[e]];
+                colWords_[ld >> 6] |= uint64_t{1} << (ld & 63);
+            }
+            colBits = colWords_.data();
+        }
+        osdPushPos_.push_back(oc);
+        if (elim_.push(colBits)) {
+            solved = true;
+            break;
+        }
+    }
+    if (solved) {
+        elim_.solution(osdSolIdx_);
+        for (uint32_t idx : osdSolIdx_) {
+            solUses_[osdPushPos_[idx]] = 1;
+        }
+    }
+    return solved;
+}
+
+bool
+BpOsdDecoder::osdSolveScalar(const std::vector<uint32_t> &cols,
+                             const std::vector<uint32_t> &flipped)
+{
+    std::size_t ne = cols.size(), nd = regionDets_.size();
     std::size_t words = (nd + 63) / 64;
     synWords_.assign(words, 0);
     for (uint32_t d : flipped) {
@@ -322,11 +455,10 @@ BpOsdDecoder::osdSolve(const std::vector<uint32_t> &cols, const double *post,
     // Reduce the syndrome as we go; solution = pivots whose row bit is
     // set in the (running) reduced syndrome.
     for (std::size_t oi = 0; oi < ne; ++oi) {
-        if (!fullSort && oi == kOsdPrefix) {
-            std::sort(order_.begin() + kOsdPrefix, order_.end(),
-                      byPosterior);
+        if (oi == osdSortedPrefix_) {
+            osdSortTail();
         }
-        uint32_t oc = order_[oi];
+        uint32_t oc = osdKeys_[oi].pos;
         uint32_t gc = cols[oc];
         colWords_.assign(words, 0);
         for (uint32_t e = colBegin_[gc]; e < colBegin_[gc + 1]; ++e) {
@@ -403,11 +535,87 @@ BpOsdDecoder::osdSolve(const std::vector<uint32_t> &cols, const double *post,
 void
 BpOsdDecoder::growRegion(const std::vector<uint32_t> &flipped)
 {
+    // Region growth is monotone in its seed set: the region of a
+    // syndrome is the union of the regions grown from each flipped
+    // detector alone. The consumers are all column-order invariant (see
+    // the header comment), so the union can be computed on the lazily
+    // built per-detector reach bitmaps — one saturating seed proves the
+    // whole region covers every column, and otherwise errs_ is the OR
+    // of the seed rows extracted in canonical ascending order; both
+    // match the BFS discovery-order region bit for bit.
+    if (reachEnabled_ && !flipped.empty()) {
+        std::size_t ne = colDets_.size();
+        if (reachCols_.rows() != numDetectors_) {
+            // First use (a populated clone arrives already sized).
+            reachCols_.reset(numDetectors_, ne);
+            reachBuilt_.assign(numDetectors_, 0);
+            regionWords_.assign(reachCols_.rowWords(), 0);
+        }
+        bool saturated = false;
+        for (uint32_t d : flipped) {
+            if (!reachBuilt_[d]) {
+                seedScratch_.assign(1, d);
+                growRegionBfs(seedScratch_);
+                uint64_t *row = reachCols_.row(d);
+                for (uint32_t c : errs_) {
+                    row[c >> 6] |= uint64_t{1} << (c & 63);
+                }
+                reachBuilt_[d] = 1;
+                satFromDet_[d] = errs_.size() == ne ? 1 : 0;
+            }
+            if (satFromDet_[d] == 1) {
+                saturated = true;
+                break;
+            }
+        }
+        if (saturated) {
+            errs_ = allCols_;
+            return;
+        }
+        std::size_t words = reachCols_.rowWords();
+        std::fill(regionWords_.begin(), regionWords_.end(), uint64_t{0});
+        for (uint32_t d : flipped) {
+            const uint64_t *row = reachCols_.row(d);
+            for (std::size_t w = 0; w < words; ++w) {
+                regionWords_[w] |= row[w];
+            }
+        }
+        errs_.clear();
+        for (std::size_t w = 0; w < words; ++w) {
+            uint64_t word = regionWords_[w];
+            while (word != 0) {
+                errs_.push_back(
+                    (uint32_t)((w << 6) + std::countr_zero(word)));
+                word &= word - 1;
+            }
+        }
+        return;
+    }
+    // Bitmaps disabled: probe the first seed's memoized saturation flag,
+    // then fall back to the BFS.
+    if (!flipped.empty() && satFromDet_[flipped[0]] != 0) {
+        if (satFromDet_[flipped[0]] < 0) {
+            seedScratch_.assign(1, flipped[0]);
+            growRegionBfs(seedScratch_);
+            satFromDet_[flipped[0]] =
+                errs_.size() == colDets_.size() ? 1 : 0;
+        }
+        if (satFromDet_[flipped[0]] == 1) {
+            errs_ = allCols_;
+            return;
+        }
+    }
+    growRegionBfs(flipped);
+}
+
+void
+BpOsdDecoder::growRegionBfs(const std::vector<uint32_t> &seeds)
+{
     // Localized region: errors within regionRadius expansion layers of the
     // flipped detectors.
     errs_.clear();
     touchedDets_.clear();
-    frontier_.assign(flipped.begin(), flipped.end());
+    frontier_.assign(seeds.begin(), seeds.end());
     for (uint32_t d : frontier_) {
         detIn_[d] = 1;
         touchedDets_.push_back(d);
@@ -636,7 +844,13 @@ BpOsdDecoder::decodeRegion(const std::vector<uint32_t> &errs,
     std::vector<uint32_t> order(ne);
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-        return posterior[a] < posterior[b];
+        // Tie-break by global column id, as in osdSolve: every
+        // elimination path must pick the same pivot order under tied
+        // posteriors.
+        if (posterior[a] != posterior[b]) {
+            return posterior[a] < posterior[b];
+        }
+        return errs[a] < errs[b];
     });
 
     std::size_t words = (nd + 63) / 64;
@@ -784,6 +998,46 @@ BpOsdDecoder::decodeReference(const std::vector<uint32_t> &flipped_detectors)
     std::iota(all.begin(), all.end(), 0);
     result = decodeRegion(all, flipped_detectors, ok);
     return result;
+}
+
+bool
+BpOsdDecoder::osdPostPass(const std::vector<uint32_t> &cols,
+                          const std::vector<double> &post,
+                          const std::vector<uint32_t> &flipped, bool packed,
+                          std::vector<uint8_t> &uses)
+{
+    // Local detector numbering in region-discovery order, exactly as
+    // runRegion builds it before handing over to osdSolve.
+    regionDets_.clear();
+    for (uint32_t c : cols) {
+        for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+            uint32_t d = colDet_[e];
+            if (detLocal_[d] < 0) {
+                detLocal_[d] = (int32_t)regionDets_.size();
+                regionDets_.push_back(d);
+            }
+        }
+    }
+    bool feasible = true;
+    for (uint32_t d : flipped) {
+        if (detLocal_[d] < 0) {
+            feasible = false;
+            break;
+        }
+    }
+    bool solved = false;
+    if (feasible) {
+        solved = osdSolveImpl(cols, post.data(), flipped, packed, nullptr,
+                              false);
+    }
+    uses.assign(cols.size(), 0);
+    if (solved) {
+        uses = solUses_;
+    }
+    for (uint32_t d : regionDets_) {
+        detLocal_[d] = -1;
+    }
+    return solved;
 }
 
 } // namespace prophunt::decoder

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "decoder/decoder.h"
+#include "decoder/gf2_dense.h"
 #include "sim/dem.h"
 
 namespace prophunt::decoder {
@@ -51,8 +52,9 @@ struct BpOsdOptions
      * The lane engine runs min-sum BP for laneWidth shots at once over
      * the shared Tanner CSR: messages are stored lane-interleaved
      * (laneWidth doubles per edge), the detector -> column two-minimum
-     * reduction runs 4 lanes per AVX2 vector (with a bit-identical
-     * scalar-lane fallback), and per-lane sentinel masks keep each
+     * reduction runs 8 lanes per AVX-512 vector (4 per AVX2 vector,
+     * with a bit-identical scalar-lane fallback), and per-lane sentinel
+     * masks keep each
      * shot's localized region independent. Lanes retire individually on
      * convergence / stagnation and are refilled from the shot queue, so
      * iteration skew between easy and hard syndromes no longer idles the
@@ -61,6 +63,17 @@ struct BpOsdOptions
      * changes.
      */
     std::size_t laneWidth = 8;
+    /**
+     * Solve the OSD-0 post-pass with the word-packed gf2_dense
+     * eliminator (incremental syndrome reduction, bit-packed solution
+     * membership) instead of the scalar reference elimination. Both
+     * produce identical observables for every input — the solution is
+     * the unique expression of the syndrome over the same independent
+     * column set — so this switch only trades speed, and the scalar
+     * path survives as the differential-test and benchmark reference
+     * (tests/osd_elimination_test.cc, bench/packed_pipeline.cc).
+     */
+    bool packedOsd = true;
 };
 
 /**
@@ -103,6 +116,24 @@ class BpOsdDecoder : public Decoder
      */
     uint64_t decodeReference(const std::vector<uint32_t> &flipped_detectors);
 
+    /**
+     * Test seam: run the OSD-0 post-pass alone on an explicit region.
+     *
+     * @p cols is the region's column set, @p post the per-position
+     * posterior ranking (post[i] ranks cols[i]; size must match), and
+     * @p flipped the sorted flipped detectors. @p packed selects the
+     * gf2_dense elimination vs the scalar reference — the two must agree
+     * bit for bit (tests/osd_elimination_test.cc fuzzes exactly this).
+     * Fills @p uses with one 0/1 flag per cols position and returns
+     * whether the syndrome was explained; a flipped detector with no
+     * adjacent column in @p cols makes the region infeasible (false,
+     * all-zero uses), matching runRegion's pre-check.
+     */
+    bool osdPostPass(const std::vector<uint32_t> &cols,
+                     const std::vector<double> &post,
+                     const std::vector<uint32_t> &flipped, bool packed,
+                     std::vector<uint8_t> &uses);
+
     std::unique_ptr<Decoder>
     clone() const override
     {
@@ -125,19 +156,98 @@ class BpOsdDecoder : public Decoder
                        const std::vector<uint32_t> &flipped, bool &ok);
 
     /** Grow the localized region (regionRadius layers) around @p flipped
-     * into errs_; the errIn_/detIn_ marks are restored before returning. */
+     * into errs_; the errIn_/detIn_ marks are restored before returning.
+     *
+     * Saturation fast path: region growth is monotone in its seed set,
+     * so if the region grown from @p flipped's first detector alone
+     * covers every column, the full region does too. That predicate is
+     * memoized per detector (satFromDet_), and a hit skips the BFS
+     * entirely, filling errs_ with the canonical identity column order
+     * instead of the discovery order. Every consumer is column-order
+     * invariant — BP updates are per-column/per-detector independent,
+     * the OSD solution is the unique expression of the syndrome over an
+     * order-independent pivot set (posterior ties break by global column
+     * id), and observable masks XOR over sets — so the fast path is
+     * bit-identical to the BFS, it just stops paying ~an edge walk per
+     * shot on DEMs whose dense Tanner graphs saturate every region (the
+     * rqt benchmark codes).
+     */
     void growRegion(const std::vector<uint32_t> &flipped);
+
+    /** The BFS behind growRegion (discovery order, early saturation
+     * exit). */
+    void growRegionBfs(const std::vector<uint32_t> &seeds);
 
     /**
      * OSD-0 over @p cols: solve H x = s by incremental elimination with
-     * columns ranked by ascending posterior; post[i] is the posterior of
-     * cols[i] (both callers gather into osdPost_ first, so the sort reads
-     * contiguous memory). detLocal_/regionDets_ must hold the region's
-     * local detector numbering; fills solUses_ per position in @p cols
-     * and returns whether the syndrome became explainable.
+     * columns ranked by ascending posterior (ties broken by global
+     * column id, so every elimination backend and every region
+     * discovery order picks the same pivot sequence); post[i] is the
+     * posterior of cols[i] (both callers gather into osdPost_ first, so
+     * the sort reads contiguous memory). detLocal_/regionDets_ must hold
+     * the region's local detector numbering; fills solUses_ per position
+     * in @p cols and returns whether the syndrome became explainable.
+     * Dispatches to the packed or scalar elimination per opts_.packedOsd.
      */
     bool osdSolve(const std::vector<uint32_t> &cols, const double *post,
                   const std::vector<uint32_t> &flipped);
+
+    /** Shared per-group packed-column cache of the batched OSD queue:
+     * row i = packed column cols[i] over the group's local detector
+     * numbering, built lazily and reused by every shot in the group. */
+    struct OsdColCache
+    {
+        DenseBitMat bits;
+        std::vector<uint8_t> built;
+    };
+
+    /** osdSolve body with the backend explicit and an optional shared
+     * column cache (ignored by the scalar backend). Ranks the columns
+     * into osdKeys_ (a sorted kOsdPrefix prefix unless the exact
+     * mode or a small region forces the full sort; the backends complete
+     * the tail lazily via osdSortTail) and dispatches. @p global_rows
+     * (packed backend only) numbers elimination rows by global detector
+     * id instead of detLocal_ — the flush path uses it to skip the
+     * per-job detLocal_ rebuild; results are row-numbering invariant. */
+    bool osdSolveImpl(const std::vector<uint32_t> &cols, const double *post,
+                      const std::vector<uint32_t> &flipped, bool packed,
+                      OsdColCache *cache, bool global_rows);
+
+    /** The packed elimination: gf2_dense eliminator over lazily built
+     * packed columns. */
+    bool osdSolvePacked(const std::vector<uint32_t> &cols,
+                        const std::vector<uint32_t> &flipped,
+                        OsdColCache *cache, bool global_rows);
+
+    /** The original per-entry elimination, kept as the bit-exact
+     * reference and benchmark baseline for the packed backend. */
+    bool osdSolveScalar(const std::vector<uint32_t> &cols,
+                        const std::vector<uint32_t> &flipped);
+
+    /**
+     * One posterior-ranking record: @p key is the posterior mapped to a
+     * uint64 whose integer order equals double order (with -0.0
+     * collapsed onto +0.0), @p col the global column id tie-break, @p
+     * pos the position in the caller's cols. Selecting/sorting flat
+     * 16-byte records replaces the indirect double/column comparator —
+     * the ordering, not the elimination, dominated the OSD post-pass.
+     */
+    struct OsdKey
+    {
+        uint64_t key;
+        uint32_t col;
+        uint32_t pos;
+
+        bool
+        operator<(const OsdKey &o) const
+        {
+            return key != o.key ? key < o.key : col < o.col;
+        }
+    };
+
+    /** Sort the unsorted tail of osdKeys_: the lazy completion both
+     * eliminations trigger when they outrun the sorted prefix. */
+    void osdSortTail();
 
     // --- lane engine (decodePacked; see bp_osd_lanes.cc) ---
 
@@ -146,12 +256,40 @@ class BpOsdDecoder : public Decoder
     /** Park shot @p shot (region already grown into errs_) in lane @p l. */
     void laneInstall(std::size_t l, std::size_t shot,
                      const std::vector<uint32_t> &flipped);
-    /** Finish lane @p l (hard decision, OSD, or full-graph fallback),
-     * write its observable mask, and restore the lane's slice of every
-     * between-shot invariant. */
-    uint64_t laneRetire(std::size_t l, bool converged);
-    /** One BP iteration for every live lane (detector and column pass). */
-    void laneIterate(bool use_avx2);
+    /** Finish lane @p l and restore the lane's slice of every
+     * between-shot invariant. Converged lanes write their observable
+     * mask into @p obs_out immediately; unconverged lanes compact into
+     * the batched OSD work queue (osdFlush writes their masks later). */
+    void laneRetire(std::size_t l, bool converged, uint64_t *obs_out);
+    /** One BP iteration for every live lane (detector and column pass);
+     * simd_level picks the kernel tier (0 generic, 1 AVX2, 2 AVX-512 —
+     * all bit-identical). */
+    void laneIterate(int simd_level);
+
+    // --- batched OSD work queue (decodePacked post-pass) ---
+
+    /** One retired-but-unconverged shot awaiting the OSD post-pass. */
+    struct OsdJob
+    {
+        std::size_t shot = 0;
+        /** FNV-1a of the cols sequence (grouping key; saturated jobs
+         * group by the flag alone). */
+        uint64_t sig = 0;
+        /** Region == every column: cols is left empty and allCols_ is
+         * the canonical column order, so all saturated jobs share one
+         * group regardless of their discovery order. */
+        bool saturated = false;
+        std::vector<uint32_t> cols;
+        std::vector<uint32_t> flipped;
+        std::vector<double> post; ///< Posterior per (canonical) position.
+    };
+
+    /** Capture lane @p l's region, flipped set, and posterior slice into
+     * the OSD queue (storage reused across flushes). */
+    void osdEnqueue(std::size_t l);
+    /** Solve every queued job, grouped by region shape so the packed
+     * column build is shared, and write the observable masks. */
+    void osdFlush(uint64_t *obs_out, PackedDecodeStats *stats);
 
     BpOsdOptions opts_;
     std::size_t numDetectors_;
@@ -194,9 +332,28 @@ class BpOsdDecoder : public Decoder
     std::vector<uint32_t> frontier_;
     std::vector<uint32_t> newDets_;
     std::vector<uint32_t> flippedScratch_;
+    /** Memo: does the region grown from this detector alone saturate
+     * (cover every column)? -1 unknown, else 0/1. */
+    std::vector<int8_t> satFromDet_;
+    std::vector<uint32_t> seedScratch_; ///< Single-seed BFS probe.
+    /**
+     * Per-detector region reachability: row d = bitmap of the columns
+     * within regionRadius layers of detector d, built lazily by one
+     * single-seed BFS per detector. Region growth is monotone, so the
+     * region of a syndrome is the OR of its detectors' rows — one
+     * word-wide sweep plus a bit extraction per shot instead of an edge
+     * walk, with errs_ emerging in canonical ascending order (which
+     * also makes same-set regions group in the batched OSD queue).
+     * Enabled unless the matrix would be unreasonably large
+     * (reachEnabled_); the BFS path remains as the fallback and the
+     * row builder.
+     */
+    DenseBitMat reachCols_;
+    std::vector<uint8_t> reachBuilt_;
+    bool reachEnabled_ = false;
+    std::vector<uint64_t> regionWords_; ///< OR-of-rows scratch.
     // OSD scratch. Pivots are stored flattened (rows, bit columns,
     // member segments) so the elimination loop never allocates.
-    std::vector<uint32_t> order_;
     std::vector<uint64_t> synWords_;
     std::vector<uint64_t> colWords_;
     std::vector<uint8_t> solUses_;
@@ -208,6 +365,19 @@ class BpOsdDecoder : public Decoder
     std::vector<uint64_t> rScratch_;
     std::vector<uint8_t> useScratch_;
     std::vector<double> osdPost_; ///< Posteriors gathered per cols position.
+    // Packed-elimination scratch (osdSolvePacked).
+    Gf2Eliminator elim_;
+    std::vector<uint32_t> osdPushPos_; ///< Push index -> cols position.
+    std::vector<uint32_t> osdSolIdx_;  ///< Solution push indices.
+    std::vector<OsdKey> osdKeys_;      ///< Posterior-ranking records.
+    std::size_t osdSortedPrefix_ = 0;  ///< Sorted prefix of osdKeys_.
+    // Batched OSD queue (lane engine). Entries are reused: osdQueueSize_
+    // counts the live prefix, the vectors behind it keep their capacity.
+    std::vector<OsdJob> osdQueue_;
+    std::size_t osdQueueSize_ = 0;
+    std::vector<uint32_t> osdOrderIdx_;    ///< Flush grouping scratch.
+    std::vector<uint32_t> osdFallbackIdx_; ///< Full-graph fallback jobs.
+    OsdColCache osdCache_;
 
     // Lane engine state (sized by laneEnsure on the first packed decode).
     // Message/posterior arrays are lane-interleaved: element (i, lane)

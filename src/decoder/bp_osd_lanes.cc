@@ -9,12 +9,14 @@
  * with its detector->column reply (an edge belongs to exactly one
  * detector and one column, so neither pass reads a slot another detector
  * or column wrote this iteration). The detector -> column two-minimum
- * reduction processes 4 lanes per AVX2 vector from one contiguous load —
- * no gathers — and walks every chunk of the width in a single pass over
- * the detector's edges, so the independent per-chunk min chains hide the
- * blend latency and each message cache line is touched once per pass.
- * Odd widths and non-x86 builds use a bit-identical scalar-lane
- * fallback.
+ * reduction processes 8 lanes per AVX-512 vector (4 per AVX2 vector on
+ * hardware without it) from one contiguous load — no gathers — and walks
+ * every chunk of the width in a single pass over the detector's edges,
+ * so the independent per-chunk min chains hide the blend latency and
+ * each message cache line is touched once per pass. Odd widths and
+ * non-x86 builds use a bit-identical scalar-lane fallback; all three
+ * kernel tiers produce the same bits (PROPHUNT_NO_AVX512 /
+ * PROPHUNT_NO_AVX2 step down explicitly).
  *
  * Localized-region semantics are preserved per lane without per-shot
  * message initialization: laneEdgeActive_ carries one bit per
@@ -32,11 +34,19 @@
  * from the shot queue, so iteration skew between easy and hard syndromes
  * no longer serializes the batch.
  *
+ * Retired-but-unconverged lanes do not solve OSD inline: they compact
+ * into a batched work queue (shot id, region, syndrome, posterior
+ * snapshot) that is flushed in groups of identical region shapes, so
+ * the packed-column build of the GF(2) elimination is shared across the
+ * shots of a group and the post-pass runs out of hot scratch instead of
+ * interleaving with lane state. Each job's solve is independent, so the
+ * queueing changes throughput only.
+ *
  * Exactness: every per-lane recurrence reproduces the scalar runRegion
  * arithmetic operation for operation (same edge order in the sums, same
  * strict-minimum updates, no FMA contraction), the per-lane stopping
  * rules are the scalar ones, and non-converged lanes hand their
- * posteriors to the shared scalar OSD post-pass — so decodePacked equals
+ * posteriors to the shared OSD post-pass — so decodePacked equals
  * per-shot decode() bit for bit for every laneWidth, and a shot's result
  * never depends on which shots share its lanes (shot-order invariance).
  * The sign-bit trick used by the vector kernels (sign(x) as the IEEE
@@ -49,8 +59,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <numeric>
 
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
 #define PROPHUNT_LANES_X86 1
@@ -63,6 +75,15 @@ namespace {
 
 /** Same value as the scalar path's inactive-edge sentinel (bp_osd.cc). */
 constexpr double kInactiveLane = 1e300;
+
+/**
+ * Flush the batched OSD queue once this many retired-unconverged shots
+ * have accumulated (and always at the end of a decodePacked call).
+ * Large enough to amortize the shared packed-column build across the
+ * shots of a flush window, small enough to bound the queued posterior
+ * snapshots (each is one double per region column).
+ */
+constexpr std::size_t kOsdFlushCap = 128;
 
 /** Raw pointers of one lane BP iteration, hoisted out of the decoder so
  * the same kernels compile with and without AVX2. */
@@ -377,7 +398,186 @@ colPassAvx2(const LaneCtx &cx)
     }
 }
 
+/**
+ * AVX-512 kernels: one 512-bit vector carries a whole 8-lane chunk, so
+ * W=8 runs in a single chunk (W=16 in two) with half the instruction
+ * stream of the AVX2 pair — and the per-edge lane bit planes become
+ * native predicate masks (__mmask8) instead of nibble-expanded blend
+ * vectors. Every select/compare mirrors the AVX2 kernel operation for
+ * operation per lane, and all sign handling stays integer bit
+ * manipulation, so the three kernel tiers are bit-identical.
+ */
+
+template <int NC>
+__attribute__((target("avx512f"))) void
+detPassAvx512(const LaneCtx &cx)
+{
+    const std::size_t W = cx.W;
+    const __m512i signMask = _mm512_set1_epi64(INT64_MIN);
+    const __m512i absMask = _mm512_set1_epi64(INT64_MAX);
+    const __m512d inactive = _mm512_set1_pd(kInactiveLane);
+    const __m512d scaleV = _mm512_set1_pd(cx.scale);
+    __mmask8 fresh[NC];
+    for (int k = 0; k < NC; ++k) {
+        fresh[k] = (__mmask8)(cx.freshLanes >> (8 * k));
+    }
+    for (std::size_t d = 0; d < cx.numDetectors; ++d) {
+        uint32_t mask = cx.detMask[d];
+        if (mask == 0) {
+            continue;
+        }
+        uint32_t b = cx.detBegin[d], en = cx.detBegin[d + 1];
+        uint32_t deg = en - b;
+        __m512i signAcc[NC];
+        __m512d min1[NC], min2[NC], argpos[NC];
+        for (int k = 0; k < NC; ++k) {
+            signAcc[k] = _mm512_castpd_si512(
+                _mm512_loadu_pd(cx.synSign + (std::size_t)d * W + 8 * k));
+            min1[k] = inactive;
+            min2[k] = inactive;
+            argpos[k] = _mm512_set1_pd(-1.0);
+        }
+        for (uint32_t i = 0; i < deg; ++i) {
+            std::size_t e = cx.detEdges[b + i];
+            uint32_t act = cx.edgeActive[e];
+            const __m512d priorV = _mm512_set1_pd(cx.edgePrior[e]);
+            const __m512d idx = _mm512_set1_pd((double)i);
+            for (int k = 0; k < NC; ++k) {
+                __mmask8 am = (__mmask8)(act >> (8 * k));
+                __m512d v = _mm512_loadu_pd(cx.msg + e * W + 8 * k);
+                // Region membership: prior on the lane's first
+                // iteration, stored value afterwards, sentinel outside
+                // the region.
+                v = _mm512_mask_blend_pd((__mmask8)(am & fresh[k]), v,
+                                         priorV);
+                v = _mm512_mask_blend_pd(am, inactive, v);
+                _mm512_storeu_pd(cx.stage + (std::size_t)i * W + 8 * k, v);
+                __m512i vi = _mm512_castpd_si512(v);
+                signAcc[k] = _mm512_xor_epi64(
+                    signAcc[k], _mm512_and_epi64(vi, signMask));
+                __m512d a = _mm512_castsi512_pd(
+                    _mm512_and_epi64(vi, absMask));
+                __mmask8 lt1 = _mm512_cmp_pd_mask(a, min1[k], _CMP_LT_OQ);
+                __mmask8 lt2 = _mm512_cmp_pd_mask(a, min2[k], _CMP_LT_OQ);
+                min2[k] = _mm512_mask_blend_pd(
+                    lt1, _mm512_mask_blend_pd(lt2, min2[k], a), min1[k]);
+                min1[k] = _mm512_mask_blend_pd(lt1, min1[k], a);
+                argpos[k] = _mm512_mask_blend_pd(lt1, argpos[k], idx);
+            }
+        }
+        __m512d m1[NC], m2[NC];
+        for (int k = 0; k < NC; ++k) {
+            m1[k] = _mm512_mul_pd(scaleV, min1[k]);
+            m2[k] = _mm512_mul_pd(scaleV, min2[k]);
+        }
+        for (uint32_t i = 0; i < deg; ++i) {
+            std::size_t e = cx.detEdges[b + i];
+            const __m512d idx = _mm512_set1_pd((double)i);
+            for (int k = 0; k < NC; ++k) {
+                __m512d v =
+                    _mm512_loadu_pd(cx.stage + (std::size_t)i * W + 8 * k);
+                __mmask8 eq =
+                    _mm512_cmp_pd_mask(idx, argpos[k], _CMP_EQ_OQ);
+                __m512d mag = _mm512_mask_blend_pd(eq, m1[k], m2[k]);
+                // mag >= 0, so OR-ing the product sign bit equals the
+                // scalar ±mag selection bit for bit (including ±0.0).
+                __m512i sb = _mm512_and_epi64(
+                    _mm512_xor_epi64(signAcc[k], _mm512_castpd_si512(v)),
+                    signMask);
+                _mm512_storeu_pd(
+                    cx.msg + e * W + 8 * k,
+                    _mm512_castsi512_pd(_mm512_or_epi64(
+                        _mm512_castpd_si512(mag), sb)));
+            }
+        }
+        for (std::size_t l = (std::size_t)NC * 8; l < W; ++l) {
+            if ((mask >> l) & 1) {
+                detPassLane(cx, (uint32_t)d, l);
+            }
+        }
+    }
+}
+
+template <int NC>
+__attribute__((target("avx512f"))) void
+colPassAvx512(const LaneCtx &cx)
+{
+    const std::size_t W = cx.W;
+    const __m512d zero = _mm512_setzero_pd();
+    for (std::size_t c = 0; c < cx.numCols; ++c) {
+        uint32_t mask = cx.colMask[c];
+        if (mask == 0) {
+            continue;
+        }
+        uint32_t b = cx.colBegin[c], en = cx.colBegin[c + 1];
+        __m512d tot[NC];
+        for (int k = 0; k < NC; ++k) {
+            tot[k] = _mm512_set1_pd(cx.prior[c]);
+        }
+        for (uint32_t e = b; e < en; ++e) {
+            for (int k = 0; k < NC; ++k) {
+                tot[k] = _mm512_add_pd(
+                    tot[k],
+                    _mm512_loadu_pd(cx.msg + (std::size_t)e * W + 8 * k));
+            }
+        }
+        for (int k = 0; k < NC; ++k) {
+            // Unmasked: inactive lanes' posteriors are garbage nobody
+            // reads (a live lane rewrites its slice every iteration).
+            _mm512_storeu_pd(cx.post + (std::size_t)c * W + 8 * k, tot[k]);
+            uint32_t oct = (mask >> (8 * k)) & 0xff;
+            if (oct == 0) {
+                continue;
+            }
+            uint32_t hNow =
+                (uint32_t)_mm512_cmp_pd_mask(tot[k], zero, _CMP_LT_OQ) &
+                oct;
+            uint32_t hPrev = (cx.hardBits[c] >> (8 * k)) & 0xff;
+            uint32_t changed = hNow ^ hPrev;
+            if (changed != 0) {
+                cx.hardBits[c] ^= changed << (8 * k);
+                while (changed != 0) {
+                    std::size_t l =
+                        8 * k + (std::size_t)std::countr_zero(changed);
+                    for (uint32_t e = b; e < en; ++e) {
+                        std::size_t off =
+                            (std::size_t)cx.colDet[e] * W + l;
+                        cx.acc[off] ^= 1;
+                        cx.mismatch[l] +=
+                            (cx.acc[off] != cx.synB[off]) ? 1 : -1;
+                    }
+                    changed &= changed - 1;
+                }
+            }
+        }
+        for (uint32_t e = b; e < en; ++e) {
+            for (int k = 0; k < NC; ++k) {
+                std::size_t off = (std::size_t)e * W + 8 * k;
+                // In-place and unmasked: garbage lanes stay garbage, the
+                // detector pass's membership blend restores semantics.
+                _mm512_storeu_pd(
+                    cx.msg + off,
+                    _mm512_sub_pd(tot[k], _mm512_loadu_pd(cx.msg + off)));
+            }
+        }
+        for (std::size_t l = (std::size_t)NC * 8; l < W; ++l) {
+            if ((mask >> l) & 1) {
+                colPassLane(cx, (uint32_t)c, l);
+            }
+        }
+    }
+}
+
 #endif // PROPHUNT_LANES_X86
+
+/** True iff @p name is set to a non-empty value — CI matrix legs pass an
+ * empty string on the leg that should keep the native kernels. */
+bool
+envFlag(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr && v[0] != '\0';
+}
 
 /** Runtime kernel selection. PROPHUNT_NO_AVX2 forces the generic lanes —
  * the cross-check the lane tests use on AVX2 hardware. */
@@ -385,8 +585,20 @@ bool
 laneUseAvx2()
 {
 #if PROPHUNT_LANES_X86
-    return __builtin_cpu_supports("avx2") &&
-           std::getenv("PROPHUNT_NO_AVX2") == nullptr;
+    return __builtin_cpu_supports("avx2") && !envFlag("PROPHUNT_NO_AVX2");
+#else
+    return false;
+#endif
+}
+
+/** PROPHUNT_NO_AVX512 (or PROPHUNT_NO_AVX2) steps down to the AVX2
+ * (resp. generic) kernels; all tiers are bit-identical. */
+bool
+laneUseAvx512()
+{
+#if PROPHUNT_LANES_X86
+    return __builtin_cpu_supports("avx512f") &&
+           !envFlag("PROPHUNT_NO_AVX512") && !envFlag("PROPHUNT_NO_AVX2");
 #else
     return false;
 #endif
@@ -446,11 +658,29 @@ BpOsdDecoder::laneInstall(std::size_t l, std::size_t shot,
     // The caller just grew the region into errs_; take it over wholesale.
     laneCols_[l].swap(errs_);
     laneFlipped_[l].assign(flipped.begin(), flipped.end());
-    for (uint32_t c : laneCols_[l]) {
-        colLaneMask_[c] |= bit;
-        for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+    if (laneCols_[l].size() == colDets_.size()) {
+        // Saturated region: the lane's bit planes cover every edge and
+        // column, and every detector with an incident error — exactly
+        // the marks the per-column walk would set, written as
+        // vectorizable full-array sweeps instead of per-edge bit ops.
+        for (std::size_t e = 0; e < laneEdgeActive_.size(); ++e) {
             laneEdgeActive_[e] |= ebit;
-            detLaneMask_[colDet_[e]] |= bit;
+        }
+        for (std::size_t c = 0; c < colLaneMask_.size(); ++c) {
+            colLaneMask_[c] |= bit;
+        }
+        for (std::size_t d = 0; d < numDetectors_; ++d) {
+            if (detBegin_[d + 1] != detBegin_[d]) {
+                detLaneMask_[d] |= bit;
+            }
+        }
+    } else {
+        for (uint32_t c : laneCols_[l]) {
+            colLaneMask_[c] |= bit;
+            for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+                laneEdgeActive_[e] |= ebit;
+                detLaneMask_[colDet_[e]] |= bit;
+            }
         }
     }
     for (uint32_t d : laneFlipped_[l]) {
@@ -466,54 +696,194 @@ BpOsdDecoder::laneInstall(std::size_t l, std::size_t shot,
     laneIter_[l] = 0;
 }
 
-uint64_t
-BpOsdDecoder::laneRetire(std::size_t l, bool converged)
+void
+BpOsdDecoder::osdEnqueue(std::size_t l)
+{
+    if (osdQueue_.size() == osdQueueSize_) {
+        osdQueue_.emplace_back();
+    }
+    OsdJob &job = osdQueue_[osdQueueSize_++];
+    const std::size_t W = laneW_;
+    std::size_t ne = colDets_.size();
+    job.shot = laneShot_[l];
+    job.saturated = laneCols_[l].size() == ne;
+    if (job.saturated) {
+        // Canonical column order (allCols_): saturated regions differ
+        // only in discovery order, which the OSD result is invariant to
+        // (global-id tie-break + row-numbering-free solution), so every
+        // saturated job lands in one shared flush group.
+        job.sig = 0;
+        job.cols.clear();
+        job.post.resize(ne);
+        for (std::size_t c = 0; c < ne; ++c) {
+            job.post[c] = lanePost_[c * W + l];
+        }
+    } else {
+        job.cols.assign(laneCols_[l].begin(), laneCols_[l].end());
+        uint64_t h = 1469598103934665603ull; // FNV-1a over the sequence.
+        for (uint32_t c : job.cols) {
+            h ^= c;
+            h *= 1099511628211ull;
+        }
+        job.sig = h;
+        job.post.resize(job.cols.size());
+        for (std::size_t i = 0; i < job.cols.size(); ++i) {
+            job.post[i] = lanePost_[(std::size_t)job.cols[i] * W + l];
+        }
+    }
+    job.flipped.assign(laneFlipped_[l].begin(), laneFlipped_[l].end());
+}
+
+void
+BpOsdDecoder::osdFlush(uint64_t *obs_out, PackedDecodeStats *stats)
+{
+    if (osdQueueSize_ == 0) {
+        return;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    // Group jobs with identical region shapes so the packed-column build
+    // is shared; sorting by (shape, shot) keeps the processing order —
+    // and thus any scratch warm-up — deterministic. Results are per-shot
+    // regardless of grouping, so obs_out is grouping-invariant.
+    osdOrderIdx_.resize(osdQueueSize_);
+    std::iota(osdOrderIdx_.begin(), osdOrderIdx_.end(), 0);
+    std::sort(osdOrderIdx_.begin(), osdOrderIdx_.end(),
+              [&](uint32_t a, uint32_t b) {
+                  const OsdJob &ja = osdQueue_[a], &jb = osdQueue_[b];
+                  if (ja.saturated != jb.saturated) {
+                      return ja.saturated > jb.saturated;
+                  }
+                  if (ja.sig != jb.sig) {
+                      return ja.sig < jb.sig;
+                  }
+                  return ja.shot < jb.shot;
+              });
+    std::size_t i = 0;
+    while (i < osdQueueSize_) {
+        const OsdJob &rep = osdQueue_[osdOrderIdx_[i]];
+        const std::vector<uint32_t> &cols =
+            rep.saturated ? allCols_ : rep.cols;
+        std::size_t j = i + 1;
+        while (j < osdQueueSize_) {
+            const OsdJob &o = osdQueue_[osdOrderIdx_[j]];
+            if (o.saturated != rep.saturated || o.sig != rep.sig ||
+                (!rep.saturated && o.cols != rep.cols)) {
+                break; // Hash collisions fall out as separate groups.
+            }
+            ++j;
+        }
+        // Row numbering for the packed backend: global detector rows
+        // skip the per-job detLocal_ rebuild, but the elimination's word
+        // width then scales with numDetectors_ instead of the region's
+        // detector count — a loss on large-detector DEMs with small
+        // regions. Compare numDetectors_ against the region's edge
+        // count (an upper bound on its detector count, computed without
+        // building the numbering): global rows only when at most ~4x
+        // wider than the worst-case local numbering. Either numbering
+        // produces identical solutions. The scalar reference backend
+        // always uses the region-local numbering it has always used.
+        bool packed = opts_.packedOsd;
+        bool globalRows = packed;
+        if (packed) {
+            std::size_t edgeBound = 0;
+            for (uint32_t c : cols) {
+                edgeBound += colBegin_[c + 1] - colBegin_[c];
+                if (4 * edgeBound >= numDetectors_) {
+                    break;
+                }
+            }
+            globalRows = numDetectors_ <= 4 * edgeBound;
+        }
+        if (!packed || !globalRows) {
+            regionDets_.clear();
+            for (uint32_t c : cols) {
+                for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1];
+                     ++e) {
+                    uint32_t d = colDet_[e];
+                    if (detLocal_[d] < 0) {
+                        detLocal_[d] = (int32_t)regionDets_.size();
+                        regionDets_.push_back(d);
+                    }
+                }
+            }
+        }
+        // The shared packed-column cache is built only when the group
+        // actually has shots to share it (resetting it for a singleton
+        // costs more than it saves — the no-cache path gathers only the
+        // columns the elimination touches) and only when it fits the
+        // same 32 MB cap the reach bitmaps respect.
+        OsdColCache *cache = nullptr;
+        std::size_t cacheRows =
+            globalRows ? numDetectors_ : regionDets_.size();
+        if (packed && j - i > 1 &&
+            cols.size() * ((cacheRows + 63) / 64) * 8 <= 32u << 20) {
+            osdCache_.bits.reset(cols.size(), cacheRows);
+            osdCache_.built.assign(cols.size(), 0);
+            cache = &osdCache_;
+        }
+        // Full-graph fallbacks run after the group releases detLocal_
+        // (runRegion builds its own numbering there).
+        osdFallbackIdx_.clear();
+        for (std::size_t k = i; k < j; ++k) {
+            OsdJob &job = osdQueue_[osdOrderIdx_[k]];
+            bool solved = osdSolveImpl(cols, job.post.data(), job.flipped,
+                                       packed, cache, globalRows);
+            if (solved) {
+                uint64_t result = 0;
+                for (std::size_t c = 0; c < cols.size(); ++c) {
+                    if (solUses_[c]) {
+                        result ^= colObs_[cols[c]];
+                    }
+                }
+                obs_out[job.shot] = result;
+            } else {
+                osdFallbackIdx_.push_back(osdOrderIdx_[k]);
+            }
+        }
+        if (!packed || !globalRows) {
+            for (uint32_t d : regionDets_) {
+                detLocal_[d] = -1;
+            }
+        }
+        for (uint32_t fk : osdFallbackIdx_) {
+            // The scalar path's full-graph fallback (runRegion restores
+            // its own scratch; the lane arrays are untouched by it).
+            OsdJob &job = osdQueue_[fk];
+            bool ok = false;
+            obs_out[job.shot] = runRegion(allCols_, job.flipped, ok);
+        }
+        i = j;
+    }
+    if (stats != nullptr) {
+        stats->osdShots += osdQueueSize_;
+        stats->osdUs += (uint64_t)std::chrono::duration_cast<
+                            std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    }
+    osdQueueSize_ = 0; // Entries stay allocated for the next flush.
+}
+
+void
+BpOsdDecoder::laneRetire(std::size_t l, bool converged, uint64_t *obs_out)
 {
     const std::size_t W = laneW_;
     uint32_t bit = uint32_t{1} << l;
     uint16_t ebit = (uint16_t)(1u << l);
-    const std::vector<uint32_t> &cols = laneCols_[l];
-    uint64_t result = 0;
     if (converged) {
-        for (uint32_t c : cols) {
+        uint64_t result = 0;
+        for (uint32_t c : laneCols_[l]) {
             if (laneHardBits_[c] & bit) {
                 result ^= colObs_[c];
             }
         }
+        obs_out[laneShot_[l]] = result;
     } else {
-        // Rebuild the region's local detector numbering in the scalar
-        // discovery order and hand the lane's posterior slice to the
-        // shared OSD post-pass (gathered contiguous, as the sort wants).
-        regionDets_.clear();
-        osdPost_.resize(cols.size());
-        for (std::size_t i = 0; i < cols.size(); ++i) {
-            uint32_t c = cols[i];
-            osdPost_[i] = lanePost_[(std::size_t)c * W + l];
-            for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
-                uint32_t d = colDet_[e];
-                if (detLocal_[d] < 0) {
-                    detLocal_[d] = (int32_t)regionDets_.size();
-                    regionDets_.push_back(d);
-                }
-            }
-        }
-        bool solved = osdSolve(cols, osdPost_.data(), laneFlipped_[l]);
-        if (solved) {
-            for (std::size_t i = 0; i < cols.size(); ++i) {
-                if (solUses_[i]) {
-                    result ^= colObs_[cols[i]];
-                }
-            }
-        }
-        for (uint32_t d : regionDets_) {
-            detLocal_[d] = -1;
-        }
-        if (!solved) {
-            // The scalar path's full-graph fallback (runRegion restores
-            // its own scratch; the lane arrays are untouched by it).
-            bool ok = false;
-            result = runRegion(allCols_, laneFlipped_[l], ok);
-        }
+        // Retired without convergence: compact into the batched OSD work
+        // queue (the posterior slice, region, and syndrome are captured
+        // before the lane's state is swept below); osdFlush writes the
+        // observable mask.
+        osdEnqueue(l);
     }
     // Restore this lane's slice of every between-shot invariant with
     // full-array sweeps: lane l's bits are only set inside its region, so
@@ -538,11 +908,10 @@ BpOsdDecoder::laneRetire(std::size_t l, bool converged)
     laneCols_[l].clear();
     laneFlipped_[l].clear();
     laneLive_[l] = 0;
-    return result;
 }
 
 void
-BpOsdDecoder::laneIterate(bool use_avx2)
+BpOsdDecoder::laneIterate(int simd_level)
 {
     LaneCtx cx;
     cx.W = laneW_;
@@ -573,23 +942,33 @@ BpOsdDecoder::laneIterate(bool use_avx2)
     cx.colMask = colLaneMask_.data();
     cx.mismatch = laneMismatch_.data();
 #if PROPHUNT_LANES_X86
-    if (use_avx2 && laneW_ == 8) {
+    if (simd_level >= 2 && laneW_ == 8) {
+        detPassAvx512<1>(cx);
+        colPassAvx512<1>(cx);
+        return;
+    }
+    if (simd_level >= 2 && laneW_ == 16) {
+        detPassAvx512<2>(cx);
+        colPassAvx512<2>(cx);
+        return;
+    }
+    if (simd_level >= 1 && laneW_ == 8) {
         detPassAvx2<2>(cx);
         colPassAvx2<2>(cx);
         return;
     }
-    if (use_avx2 && laneW_ == 4) {
+    if (simd_level >= 1 && laneW_ == 4) {
         detPassAvx2<1>(cx);
         colPassAvx2<1>(cx);
         return;
     }
-    if (use_avx2 && laneW_ == 16) {
+    if (simd_level >= 1 && laneW_ == 16) {
         detPassAvx2<4>(cx);
         colPassAvx2<4>(cx);
         return;
     }
 #else
-    (void)use_avx2;
+    (void)simd_level;
 #endif
     detPassGeneric(cx);
     colPassGeneric(cx);
@@ -687,7 +1066,10 @@ BpOsdDecoder::decodePacked(const sim::FrameView &frames, uint64_t *obs_out,
         laneQueue_.push_back((uint32_t)s);
     }
 
-    bool avx2 = W >= 4 && laneUseAvx2();
+    int simd = W >= 4 && laneUseAvx2() ? 1 : 0;
+    if (simd == 1 && (W == 8 || W == 16) && laneUseAvx512()) {
+        simd = 2;
+    }
     std::size_t next = 0;
     std::size_t live = 0;
     for (;;) {
@@ -713,7 +1095,7 @@ BpOsdDecoder::decodePacked(const sim::FrameView &frames, uint64_t *obs_out,
         if (live == 0) {
             break;
         }
-        laneIterate(avx2);
+        laneIterate(simd);
         if (stats != nullptr) {
             stats->laneSlotsBusy += live;
             stats->laneSlotsTotal += W;
@@ -741,11 +1123,15 @@ BpOsdDecoder::decodePacked(const sim::FrameView &frames, uint64_t *obs_out,
                 }
             }
             if (done) {
-                obs_out[laneShot_[l]] = laneRetire(l, converged);
+                laneRetire(l, converged, obs_out);
                 --live;
             }
         }
+        if (osdQueueSize_ >= kOsdFlushCap) {
+            osdFlush(obs_out, stats);
+        }
     }
+    osdFlush(obs_out, stats);
 }
 
 } // namespace prophunt::decoder

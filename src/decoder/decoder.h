@@ -26,7 +26,13 @@ namespace prophunt::decoder {
  * transposed into row layout and routed through decodeBatch by the base
  * adapter. The lane counters expose the lane engine's occupancy: busy is
  * the number of (lane, BP-iteration) slots that carried a live shot,
- * total is laneWidth times the iterations the engine ran.
+ * total is laneWidth times the iterations the engine ran. The OSD
+ * counters account the lane engine's batched OSD post-pass: `osdShots`
+ * is the number of shots whose lane retired without BP convergence and
+ * went through the GF(2) elimination (or its scalar reference), `osdUs`
+ * the wall microseconds spent inside that post-pass (packed-column
+ * build, elimination, and the full-graph fallback for unexplainable
+ * regions).
  */
 struct PackedDecodeStats
 {
@@ -34,6 +40,8 @@ struct PackedDecodeStats
     uint64_t adapterShots = 0;
     uint64_t laneSlotsBusy = 0;
     uint64_t laneSlotsTotal = 0;
+    uint64_t osdShots = 0;
+    uint64_t osdUs = 0;
 
     /** Mean fraction of lanes carrying a live shot (0 when no lane ran). */
     double
@@ -51,6 +59,8 @@ struct PackedDecodeStats
         adapterShots += o.adapterShots;
         laneSlotsBusy += o.laneSlotsBusy;
         laneSlotsTotal += o.laneSlotsTotal;
+        osdShots += o.osdShots;
+        osdUs += o.osdUs;
         return *this;
     }
 };

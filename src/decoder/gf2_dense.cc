@@ -1,0 +1,177 @@
+#include "decoder/gf2_dense.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace prophunt::decoder {
+
+void
+DenseBitMat::reset(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    rowWords_ = (cols + 63) / 64;
+    words_.assign(rows * rowWords_, 0);
+}
+
+void
+DenseBitMat::clearRow(std::size_t r)
+{
+    std::fill_n(row(r), rowWords_, uint64_t{0});
+}
+
+void
+DenseBitMat::xorRowInto(std::size_t src, uint64_t *dst) const
+{
+    const uint64_t *s = row(src);
+    for (std::size_t w = 0; w < rowWords_; ++w) {
+        dst[w] ^= s[w];
+    }
+}
+
+std::size_t
+DenseBitMat::rank() const
+{
+    // Row-swap-free elimination on a scratch copy: pivots are
+    // (row, lead column) pairs recorded in place.
+    std::vector<uint64_t> scratch(words_);
+    std::vector<std::size_t> pivRow;
+    std::vector<std::size_t> pivCol;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        uint64_t *cur = scratch.data() + r * rowWords_;
+        for (std::size_t p = 0; p < pivRow.size(); ++p) {
+            if ((cur[pivCol[p] >> 6] >> (pivCol[p] & 63)) & 1) {
+                const uint64_t *pr = scratch.data() + pivRow[p] * rowWords_;
+                for (std::size_t w = 0; w < rowWords_; ++w) {
+                    cur[w] ^= pr[w];
+                }
+            }
+        }
+        for (std::size_t w = 0; w < rowWords_; ++w) {
+            if (cur[w] != 0) {
+                pivRow.push_back(r);
+                pivCol.push_back((w << 6) + std::countr_zero(cur[w]));
+                break;
+            }
+        }
+    }
+    return pivRow.size();
+}
+
+void
+Gf2Eliminator::begin(std::size_t numRows)
+{
+    rowWords_ = (numRows + 63) / 64;
+    // Rank never exceeds the row count, so member sets (bits over pivot
+    // slots) fit the same word count as a packed column.
+    memWords_ = rowWords_ == 0 ? 1 : rowWords_;
+    pushed_ = 0;
+    solved_ = false;
+    pivData_.clear();
+    pivLead_.clear();
+    pivPush_.clear();
+    rSyn_.assign(rowWords_, 0);
+    solMem_.assign(memWords_, 0);
+    cand_.assign(rowWords_ + memWords_, 0);
+}
+
+void
+Gf2Eliminator::setSyndromeBit(std::size_t r)
+{
+    rSyn_[r >> 6] |= uint64_t{1} << (r & 63);
+}
+
+bool
+Gf2Eliminator::push(const uint64_t *col)
+{
+    if (solved_) {
+        return true;
+    }
+    std::size_t pushIdx = pushed_++;
+    std::size_t stride = rowWords_ + memWords_;
+    std::size_t npiv = pivLead_.size();
+    // Member words actually in use: pivot slots 0..npiv occupy the low
+    // ceil((npiv + 1) / 64) words; the rest stay zero.
+    std::size_t memUsed = (npiv >> 6) + 1;
+
+    uint64_t *candCol = cand_.data();
+    uint64_t *candMem = cand_.data() + rowWords_;
+    std::copy_n(col, rowWords_, candCol);
+    std::fill_n(candMem, memUsed, uint64_t{0});
+
+    // Reduce against the pivots in push order. Each pivot is already
+    // reduced against its predecessors, so its only lead-row bit is its
+    // own; XORing it can set later pivots' lead rows in the candidate
+    // (fill-in), which the in-order walk picks up, exactly like the
+    // reference elimination.
+    for (std::size_t p = 0; p < npiv; ++p) {
+        std::size_t lead = pivLead_[p];
+        if (((candCol[lead >> 6] >> (lead & 63)) & 1) == 0) {
+            continue;
+        }
+        const uint64_t *piv = pivData_.data() + p * stride;
+        for (std::size_t w = 0; w < rowWords_; ++w) {
+            candCol[w] ^= piv[w];
+        }
+        const uint64_t *mem = piv + rowWords_;
+        for (std::size_t w = 0; w < memUsed; ++w) {
+            candMem[w] ^= mem[w];
+        }
+    }
+    std::size_t lead = (std::size_t)-1;
+    for (std::size_t w = 0; w < rowWords_; ++w) {
+        if (candCol[w] != 0) {
+            lead = (w << 6) + std::countr_zero(candCol[w]);
+            break;
+        }
+    }
+    if (lead == (std::size_t)-1) {
+        return false; // Dependent: the span is unchanged, no new check.
+    }
+
+    // Accept the pivot: slot npiv, member set = accumulated members plus
+    // the candidate itself.
+    candMem[npiv >> 6] ^= uint64_t{1} << (npiv & 63);
+    pivData_.insert(pivData_.end(), cand_.begin(), cand_.end());
+    pivLead_.push_back((uint32_t)lead);
+    pivPush_.push_back((uint32_t)pushIdx);
+
+    // Incremental syndrome reduction: the residual already has zeros at
+    // every earlier pivot's lead row and the new pivot is reduced against
+    // all of them, so applying it once (iff its lead bit is set in the
+    // residual) keeps the residual fully reduced — no per-step
+    // re-reduction against the whole pivot set.
+    if ((rSyn_[lead >> 6] >> (lead & 63)) & 1) {
+        for (std::size_t w = 0; w < rowWords_; ++w) {
+            rSyn_[w] ^= candCol[w];
+        }
+        std::size_t memNow = (npiv >> 6) + 1;
+        for (std::size_t w = 0; w < memNow; ++w) {
+            solMem_[w] ^= candMem[w];
+        }
+    }
+    for (std::size_t w = 0; w < rowWords_; ++w) {
+        if (rSyn_[w] != 0) {
+            return false;
+        }
+    }
+    solved_ = true;
+    return true;
+}
+
+void
+Gf2Eliminator::solution(std::vector<uint32_t> &out) const
+{
+    out.clear();
+    for (std::size_t w = 0; w < memWords_; ++w) {
+        uint64_t word = solMem_[w];
+        while (word != 0) {
+            std::size_t slot = (w << 6) + std::countr_zero(word);
+            out.push_back(pivPush_[slot]);
+            word &= word - 1;
+        }
+    }
+    std::sort(out.begin(), out.end());
+}
+
+} // namespace prophunt::decoder

@@ -84,8 +84,10 @@ struct LerResult
     bool earlyStopped = false;
     /**
      * How the counted shots were decoded (native packed vs transpose
-     * adapter, lane occupancy). Accounted over the same deterministic
-     * shard prefix as shots/failures, so it is thread-count invariant.
+     * adapter, lane occupancy, batched-OSD shots and microseconds).
+     * Accounted over the same deterministic shard prefix as
+     * shots/failures, so every counter except the wall-clock osdUs is
+     * thread-count invariant.
      */
     PackedDecodeStats packed;
 

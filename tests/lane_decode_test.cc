@@ -156,22 +156,117 @@ TEST(LaneDecode, MatrixOnRqt54CircuitDem)
     expectPackedMatrixEquals(dem, frames);
 }
 
+TEST(LaneDecode, OsdHeavyRegimeMatrix)
+{
+    // High noise plus a tiny iteration budget: most lanes retire without
+    // BP convergence and flow through the batched OSD work queue. Every
+    // lane width must still reproduce the laneWidth-0 batched path
+    // observable for observable, across odd shot counts that leave a
+    // partial final 64-shot word and force several queue flushes.
+    for (std::size_t shots : {37u, 451u}) {
+        Dem dem = randomDem(91, 48, 160, 0.12);
+        FrameBatch frames = sampleDemFrames(dem, shots, 17);
+        SampleBatch rows;
+        transposeFrames(frames, rows);
+        decoder::BpOsdOptions refOpts;
+        refOpts.laneWidth = 0;
+        refOpts.maxIterations = 3;
+        decoder::BpOsdDecoder refDec(dem, refOpts);
+        std::vector<uint64_t> batched(shots);
+        refDec.decodeBatch(rows, 0, shots, batched.data());
+        for (std::size_t w : kWidths) {
+            if (w == 0) {
+                continue;
+            }
+            decoder::BpOsdOptions opts;
+            opts.laneWidth = w;
+            opts.maxIterations = 3;
+            decoder::BpOsdDecoder dec(dem, opts);
+            std::vector<uint64_t> lane(shots, ~uint64_t{0});
+            decoder::PackedDecodeStats st;
+            dec.decodePacked(frames.view(), lane.data(), &st);
+            EXPECT_EQ(lane, batched) << "laneWidth " << w;
+            // The regime must actually exercise the batched OSD queue.
+            EXPECT_GT(st.osdShots, shots / 4) << "laneWidth " << w;
+        }
+    }
+}
+
+TEST(LaneDecode, OsdHeavyCircuitDemAcrossThreads)
+{
+    // The packed pipeline end to end in an OSD-dominated regime:
+    // failures and the osdShots counter must be thread- and
+    // shard-invariant (the batched queue is per decodePacked call, and a
+    // shot's OSD solve is independent of its queue companions).
+    Dem dem = circuitDem(code::benchmarkLp39, 3, 6e-3);
+    decoder::BpOsdOptions opts;
+    opts.maxIterations = 4;
+    decoder::BpOsdDecoder dec(dem, opts);
+    decoder::LerOptions base;
+    base.shardShots = 101; // odd shard size: ragged lane queues
+    base.threads = 1;
+    decoder::LerResult serial =
+        decoder::measureDemLer(dem, dec, 707, 29, base);
+    EXPECT_EQ(serial.shots, 707u);
+    EXPECT_GT(serial.packed.osdShots, 0u);
+    for (std::size_t threads : {2u, 4u}) {
+        decoder::LerOptions par = base;
+        par.threads = threads;
+        decoder::LerResult r = decoder::measureDemLer(dem, dec, 707, 29, par);
+        EXPECT_EQ(serial.failures, r.failures) << threads << " threads";
+        EXPECT_EQ(serial.packed.osdShots, r.packed.osdShots)
+            << threads << " threads";
+    }
+    // decodeBatch (scalar immediate OSD) must agree shot for shot with
+    // decodePacked (batched OSD queue) on the same frames.
+    FrameBatch frames = sampleDemFrames(dem, 707, shardSeed(29, 0));
+    SampleBatch rows;
+    transposeFrames(frames, rows);
+    std::vector<uint64_t> viaBatch(707), viaPacked(707);
+    dec.decodeBatch(rows, 0, 707, viaBatch.data());
+    dec.decodePacked(frames.view(), viaPacked.data());
+    EXPECT_EQ(viaPacked, viaBatch);
+}
+
 TEST(LaneDecode, GenericKernelMatchesAvx2)
 {
+    // PROPHUNT_NO_AVX512 steps down to the AVX2 kernels and
     // PROPHUNT_NO_AVX2 forces the scalar-lane kernels; predictions must
-    // not change (on machines without AVX2 this compares generic to
-    // generic, which still pins the env-var plumbing).
+    // not change across any tier (on machines without the respective
+    // extension a step compares a tier to itself, which still pins the
+    // env-var plumbing).
     Dem dem = circuitDem(code::benchmarkLp39, 3, 2e-3);
     FrameBatch frames = sampleDemFrames(dem, 200, 5);
     decoder::BpOsdOptions opts;
     opts.laneWidth = 8;
     decoder::BpOsdDecoder dec(dem, opts);
-    std::vector<uint64_t> vec(frames.shots), gen(frames.shots);
+    std::vector<uint64_t> vec(frames.shots), avx2(frames.shots),
+        gen(frames.shots);
     dec.decodePacked(frames.view(), vec.data());
+    // Restore the prior values afterwards — the CI scalar matrix leg
+    // sets PROPHUNT_NO_AVX2 job-wide, and later tests in this binary
+    // must keep running the tier that leg selected.
+    const char *prevNo512 = getenv("PROPHUNT_NO_AVX512");
+    std::string savedNo512 = prevNo512 ? prevNo512 : "";
+    const char *prevNoAvx2 = getenv("PROPHUNT_NO_AVX2");
+    std::string savedNoAvx2 = prevNoAvx2 ? prevNoAvx2 : "";
+    setenv("PROPHUNT_NO_AVX512", "1", 1);
+    decoder::BpOsdDecoder dec3(dem, opts);
+    dec3.decodePacked(frames.view(), avx2.data());
+    if (prevNo512 != nullptr) {
+        setenv("PROPHUNT_NO_AVX512", savedNo512.c_str(), 1);
+    } else {
+        unsetenv("PROPHUNT_NO_AVX512");
+    }
     setenv("PROPHUNT_NO_AVX2", "1", 1);
     decoder::BpOsdDecoder dec2(dem, opts);
     dec2.decodePacked(frames.view(), gen.data());
-    unsetenv("PROPHUNT_NO_AVX2");
+    if (prevNoAvx2 != nullptr) {
+        setenv("PROPHUNT_NO_AVX2", savedNoAvx2.c_str(), 1);
+    } else {
+        unsetenv("PROPHUNT_NO_AVX2");
+    }
+    EXPECT_EQ(vec, avx2);
     EXPECT_EQ(vec, gen);
 }
 
