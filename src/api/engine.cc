@@ -89,7 +89,7 @@ hashSchedule(const circuit::SmSchedule &schedule)
     return h;
 }
 
-Engine::Engine(EngineOptions opts) : opts_(opts) {}
+Engine::Engine(EngineOptions opts) : opts_(opts), service_(opts.service) {}
 
 Engine::~Engine()
 {
@@ -166,21 +166,15 @@ Engine::artifactFor(const circuit::SmSchedule &schedule, std::size_t rounds,
                          "|d" + spec.describe();
 
     if (opts_.cacheEnabled) {
-        std::shared_ptr<const DemEntry> hit;
-        {
-            std::lock_guard<std::mutex> lock(cacheMutex_);
-            auto it = demCache_.find(demKey);
-            if (it != demCache_.end() &&
-                sameSchedule(it->second->schedule, schedule)) {
-                ++cacheHits_;
-                ++telemetry.cacheHits;
-                hit = it->second;
-            }
-        }
-        // Clone outside the lock: a BP+OSD prototype copy is large and
-        // must not serialize concurrent lookups.
-        if (hit) {
-            return {hit, hit->prototype->clone()};
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        auto it = demCache_.find(demKey);
+        if (it != demCache_.end() &&
+            sameSchedule(it->second->schedule, schedule)) {
+            ++cacheHits_;
+            ++telemetry.cacheHits;
+            // No decoder clone here: the decode service checks warm
+            // clones out of the key's lane group per shard.
+            return {std::move(demKey), it->second};
         }
     }
 
@@ -212,7 +206,33 @@ Engine::artifactFor(const circuit::SmSchedule &schedule, std::size_t rounds,
             shared = it->second;
         }
     }
-    return {shared, shared->prototype->clone()};
+    return {std::move(demKey), std::move(shared)};
+}
+
+decoder::LerResult
+Engine::serviceMeasure(const Artifact &art, std::size_t shots, uint64_t seed,
+                       const decoder::LerOptions &ler,
+                       const std::atomic<bool> *cancel, Telemetry &telemetry)
+{
+    DecodeJob job;
+    job.key = art.demKey;
+    job.dem = &art.entry->dem;
+    job.prototype = art.entry->prototype.get();
+    job.keepAlive = art.entry;
+    job.shots = shots;
+    job.seed = seed;
+    job.ler = ler;
+    job.cancel = cancel;
+    uint64_t t0 = now_us();
+    DecodeOutcome o = service_.measure(job);
+    telemetry.decodeUs += now_us() - t0;
+    telemetry.shots += o.result.shots;
+    telemetry.packed += o.result.packed;
+    telemetry.reusedShots += o.reusedShots;
+    telemetry.coalescedRequests += o.coalesced ? 1 : 0;
+    telemetry.workSteals += o.steals;
+    telemetry.queueDepth = std::max(telemetry.queueDepth, o.queueDepth);
+    return o.result;
 }
 
 LerResult
@@ -228,13 +248,9 @@ Engine::run(const LerRequest &req)
         Artifact art =
             artifactFor(req.schedule, req.rounds, basis, req.noise,
                         req.decoder, req.flagWeight, out.telemetry);
-        uint64_t t0 = now_us();
-        decoder::LerResult r = decoder::measureDemLer(
-            art.entry->dem, *art.decoder, req.shots,
-            decoder::memoryBasisSeed(req.seed, basis), req.ler);
-        out.telemetry.decodeUs += now_us() - t0;
-        out.telemetry.shots += r.shots;
-        out.telemetry.packed += r.packed;
+        decoder::LerResult r = serviceMeasure(
+            art, req.shots, decoder::memoryBasisSeed(req.seed, basis),
+            req.ler, req.cancel, out.telemetry);
         (basis == circuit::MemoryBasis::Z ? out.memory.z : out.memory.x) =
             r;
     }
@@ -292,23 +308,20 @@ Engine::sweepPoint(const SweepRequest &req, double p)
     while (done < req.shotsPerPoint) {
         std::size_t chunk = std::min(chunkShots, req.shotsPerPoint - done);
         uint64_t chunkSeed = sim::splitMix64(chunkState);
-        uint64_t t0 = now_us();
         for (auto basis :
              {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
             Artifact &art =
                 basis == circuit::MemoryBasis::Z ? artZ : artX;
-            decoder::LerResult r = decoder::measureDemLer(
-                art.entry->dem, *art.decoder, chunk,
-                decoder::memoryBasisSeed(chunkSeed, basis), req.ler);
+            decoder::LerResult r = serviceMeasure(
+                art, chunk, decoder::memoryBasisSeed(chunkSeed, basis),
+                req.ler, nullptr, pt.telemetry);
             decoder::LerResult &acc = basis == circuit::MemoryBasis::Z
                                           ? pt.memory.z
                                           : pt.memory.x;
             acc.shots += r.shots;
             acc.failures += r.failures;
             acc.packed += r.packed;
-            pt.telemetry.packed += r.packed;
         }
-        pt.telemetry.decodeUs += now_us() - t0;
         done += chunk;
         std::size_t trials = (pt.memory.z.shots + pt.memory.x.shots) / 2;
         std::size_t failures =
@@ -326,7 +339,7 @@ Engine::sweepPoint(const SweepRequest &req, double p)
     if (pt.decision == SprtDecision::Undecided) {
         pt.decision = SprtTest::fixedDecision(pt.ler(), req.sprt);
     }
-    pt.telemetry.shots += pt.memory.z.shots + pt.memory.x.shots;
+    // telemetry.shots accumulated chunk by chunk inside serviceMeasure.
     return pt;
 }
 
@@ -429,11 +442,23 @@ Engine::cacheStats() const
 void
 Engine::clearCache()
 {
-    std::lock_guard<std::mutex> lock(cacheMutex_);
-    circuitCache_.clear();
-    circuitOrder_.clear();
-    demCache_.clear();
-    demOrder_.clear();
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        circuitCache_.clear();
+        circuitOrder_.clear();
+        demCache_.clear();
+        demOrder_.clear();
+    }
+    // Warm clones and tallies borrow cache-owned artifacts; dropping the
+    // cache without them would only waste memory (identity guards keep
+    // correctness either way).
+    service_.clear();
+}
+
+DecodeServiceStats
+Engine::serviceStats() const
+{
+    return service_.stats();
 }
 
 } // namespace prophunt::api

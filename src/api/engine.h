@@ -13,9 +13,15 @@
  *    non-decode cost of fig06/fig12-style sweeps. Cached and uncached
  *    runs are bit-identical: DEM construction is deterministic and
  *    Decoder::clone() must not affect decode results.
+ *  - a decode service: every LER measurement (fixed-budget and SPRT
+ *    chunks alike) flows through a long-lived api::DecodeService, which
+ *    keeps lane groups of warm decoder clones per decode key, coalesces
+ *    concurrent same-key requests into one shard stream on a persistent
+ *    worker pool, and reuses recorded shard tallies across requests —
+ *    all bit-identical to a serial decoder::measureMemoryLer run.
  *  - async submission: submit() enqueues the request onto internal
  *    dispatcher threads and returns a std::future; each job still fans
- *    its shots out over the shared sim::parallelFor pool.
+ *    its shots out over the shared persistent worker pool.
  *  - adaptive sweeps: Engine::sweep with SprtOptions::enabled allocates
  *    shots across sweep points with a sequential test (api/sprt.h)
  *    instead of a fixed per-point budget.
@@ -38,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/decode_service.h"
 #include "api/requests.h"
 
 namespace prophunt::api {
@@ -58,6 +65,8 @@ struct EngineOptions
     std::size_t maxCacheEntries = 256;
     /** Dispatcher threads draining submit()'s job queue. */
     std::size_t asyncWorkers = 1;
+    /** Decode-service knobs (pool sizing, coalescing, shot reuse). */
+    DecodeServiceOptions service;
 };
 
 /** The unified workload engine. */
@@ -101,6 +110,9 @@ class Engine
     CacheStats cacheStats() const;
     void clearCache();
 
+    /** Decode-service lifetime counters (coalescing, steals, reuse). */
+    DecodeServiceStats serviceStats() const;
+
   private:
     /**
      * A compiled circuit plus the schedule it came from. Cache keys carry
@@ -122,12 +134,13 @@ class Engine
         std::unique_ptr<decoder::Decoder> prototype;
     };
 
-    /** What one measurement borrows: the shared DEM entry and a private
-     * decoder clone. */
+    /** What one measurement borrows: the shared DEM entry plus its cache
+     * key — the decode service's coalescing/reuse identity. Decoder
+     * clones are checked out inside the service per shard. */
     struct Artifact
     {
+        std::string demKey;
         std::shared_ptr<const DemEntry> entry;
-        std::unique_ptr<decoder::Decoder> decoder;
     };
 
     std::shared_ptr<const circuit::SmCircuit>
@@ -143,11 +156,20 @@ class Engine
 
     SweepPointResult sweepPoint(const SweepRequest &req, double p);
 
+    /** Run one basis measurement through the decode service and fold the
+     * outcome's telemetry into @p telemetry. */
+    decoder::LerResult serviceMeasure(const Artifact &art, std::size_t shots,
+                                      uint64_t seed,
+                                      const decoder::LerOptions &ler,
+                                      const std::atomic<bool> *cancel,
+                                      Telemetry &telemetry);
+
     template <class Result, class Request>
     std::future<Result> enqueue(Request req);
     void startWorkersLocked();
 
     EngineOptions opts_;
+    DecodeService service_;
 
     mutable std::mutex cacheMutex_;
     std::map<std::string, CircuitEntry> circuitCache_;

@@ -10,6 +10,7 @@
 #ifndef PROPHUNT_API_REQUESTS_H
 #define PROPHUNT_API_REQUESTS_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -36,6 +37,17 @@ struct Telemetry
     std::size_t cacheMisses = 0;
     /** Total shots actually sampled (both bases). */
     std::size_t shots = 0;
+    /** Shots of the result satisfied from the decode service's recorded
+     * shard tallies instead of fresh sampling + decoding. */
+    std::size_t reusedShots = 0;
+    /** Decode-service jobs of this request admitted while another
+     * request with the same decode key was already in flight. */
+    std::size_t coalescedRequests = 0;
+    /** Shards a pool thread decoded right after serving a different
+     * request stream (decode-service work stealing). */
+    std::size_t workSteals = 0;
+    /** Peak pending shard-queue depth observed at admission. */
+    std::size_t queueDepth = 0;
     /** Packed-decode path counters: native packed vs transpose-adapter
      * shots, the lane engine's occupancy, and the batched OSD
      * post-pass's osdShots/osdUs (decoder/decoder.h). */
@@ -49,6 +61,10 @@ struct Telemetry
         cacheHits += o.cacheHits;
         cacheMisses += o.cacheMisses;
         shots += o.shots;
+        reusedShots += o.reusedShots;
+        coalescedRequests += o.coalescedRequests;
+        workSteals += o.workSteals;
+        queueDepth = queueDepth > o.queueDepth ? queueDepth : o.queueDepth;
         packed += o.packed;
         return *this;
     }
@@ -72,6 +88,13 @@ struct LerRequest
      * weight — the Section 8 flag-fault-tolerance extension study.
      */
     std::size_t flagWeight = 0;
+    /**
+     * Optional cancellation flag (owned by the caller, may be flipped
+     * from any thread). Once set, the decode service stops claiming
+     * shards; the result truncates to the contiguous completed shard
+     * prefix — a valid smaller run of the same seed stream.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 
     explicit LerRequest(circuit::SmSchedule s) : schedule(std::move(s)) {}
 };

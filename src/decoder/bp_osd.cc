@@ -45,84 +45,93 @@ osdPostKey(double v)
 
 } // namespace
 
-BpOsdDecoder::BpOsdDecoder(const sim::Dem &dem, BpOsdOptions opts)
-    : opts_(opts), numDetectors_(dem.numDetectors)
+std::shared_ptr<const BpOsdDecoder::Tanner>
+BpOsdDecoder::buildTanner(const sim::Dem &dem)
 {
-    colDets_.reserve(dem.errors.size());
-    detCols_.resize(numDetectors_);
+    auto t = std::make_shared<Tanner>();
+    std::size_t numDetectors = dem.numDetectors;
+    t->colDets.reserve(dem.errors.size());
+    t->detCols.resize(numDetectors);
     for (std::size_t e = 0; e < dem.errors.size(); ++e) {
         const auto &mech = dem.errors[e];
-        colDets_.push_back(mech.detectors);
+        t->colDets.push_back(mech.detectors);
         uint64_t obs = 0;
         for (uint32_t o : mech.observables) {
             obs |= uint64_t{1} << o;
         }
-        colObs_.push_back(obs);
+        t->colObs.push_back(obs);
         double p = std::clamp(mech.p, 1e-12, 0.5 - 1e-12);
-        prior_.push_back(std::log((1.0 - p) / p));
+        t->prior.push_back(std::log((1.0 - p) / p));
         for (uint32_t d : mech.detectors) {
-            detCols_[d].push_back((uint32_t)e);
+            t->detCols[d].push_back((uint32_t)e);
         }
         if (!mech.detectors.empty()) {
-            auto it = single_.find(mech.detectors);
-            if (it == single_.end() || mech.p > it->second.second) {
-                single_[mech.detectors] = {obs, mech.p};
+            auto it = t->single.find(mech.detectors);
+            if (it == t->single.end() || mech.p > it->second.second) {
+                t->single[mech.detectors] = {obs, mech.p};
             }
         }
     }
 
     // Flatten the Tanner graph once: edge e of column c occupies slots
-    // colBegin_[c]..colBegin_[c+1]; detEdges_ lists the same edge ids per
+    // colBegin[c]..colBegin[c+1]; detEdges lists the same edge ids per
     // detector in (column, slot) order — the traversal order every
     // per-shot pass reuses.
-    std::size_t ne = colDets_.size();
-    colBegin_.assign(ne + 1, 0);
+    std::size_t ne = t->colDets.size();
+    t->colBegin.assign(ne + 1, 0);
     for (std::size_t c = 0; c < ne; ++c) {
-        colBegin_[c + 1] = colBegin_[c] + (uint32_t)colDets_[c].size();
+        t->colBegin[c + 1] = t->colBegin[c] + (uint32_t)t->colDets[c].size();
     }
-    std::size_t edges = colBegin_[ne];
-    colDet_.reserve(edges);
+    std::size_t edges = t->colBegin[ne];
+    t->colDet.reserve(edges);
     for (std::size_t c = 0; c < ne; ++c) {
-        for (uint32_t d : colDets_[c]) {
-            colDet_.push_back(d);
+        for (uint32_t d : t->colDets[c]) {
+            t->colDet.push_back(d);
         }
     }
-    detBegin_.assign(numDetectors_ + 1, 0);
-    for (uint32_t d : colDet_) {
-        ++detBegin_[d + 1];
+    t->detBegin.assign(numDetectors + 1, 0);
+    for (uint32_t d : t->colDet) {
+        ++t->detBegin[d + 1];
     }
-    for (std::size_t d = 0; d < numDetectors_; ++d) {
-        detBegin_[d + 1] += detBegin_[d];
+    for (std::size_t d = 0; d < numDetectors; ++d) {
+        t->detBegin[d + 1] += t->detBegin[d];
     }
-    detEdges_.resize(edges);
+    t->detEdges.resize(edges);
     {
-        std::vector<uint32_t> fill(detBegin_.begin(),
-                                   detBegin_.end() - 1);
+        std::vector<uint32_t> fill(t->detBegin.begin(),
+                                   t->detBegin.end() - 1);
         for (std::size_t e = 0; e < edges; ++e) {
-            detEdges_[fill[colDet_[e]]++] = (uint32_t)e;
+            t->detEdges[fill[t->colDet[e]]++] = (uint32_t)e;
         }
     }
-    detCol_.resize(edges);
-    for (std::size_t d = 0; d < numDetectors_; ++d) {
-        for (uint32_t i = detBegin_[d]; i < detBegin_[d + 1]; ++i) {
-            // detEdges_ is ordered by column within a detector, so this
-            // reproduces the detCols_ adjacency order exactly.
-            uint32_t e = detEdges_[i];
+    t->detCol.resize(edges);
+    for (std::size_t d = 0; d < numDetectors; ++d) {
+        for (uint32_t i = t->detBegin[d]; i < t->detBegin[d + 1]; ++i) {
+            // detEdges is ordered by column within a detector, so this
+            // reproduces the detCols adjacency order exactly.
+            uint32_t e = t->detEdges[i];
             uint32_t lo = 0, hi = (uint32_t)ne;
             while (lo + 1 < hi) {
                 uint32_t mid = (lo + hi) / 2;
-                if (colBegin_[mid] <= e) {
+                if (t->colBegin[mid] <= e) {
                     lo = mid;
                 } else {
                     hi = mid;
                 }
             }
-            detCol_[i] = lo;
+            t->detCol[i] = lo;
         }
     }
-    allCols_.resize(ne);
-    std::iota(allCols_.begin(), allCols_.end(), 0);
+    t->allCols.resize(ne);
+    std::iota(t->allCols.begin(), t->allCols.end(), 0);
+    return t;
+}
 
+BpOsdDecoder::BpOsdDecoder(const sim::Dem &dem, BpOsdOptions opts)
+    : opts_(opts), numDetectors_(dem.numDetectors), tanner_(buildTanner(dem))
+{
+    std::size_t ne = tanner_->colDets.size();
+    std::size_t edges = tanner_->colBegin[ne];
     msgC2d_.assign(edges, kInactive);
     msgD2c_.resize(edges);
     posterior_.assign(ne, 0.0);
@@ -135,7 +144,7 @@ BpOsdDecoder::BpOsdDecoder(const sim::Dem &dem, BpOsdOptions opts)
     std::size_t maxDeg = 0;
     for (std::size_t d = 0; d < numDetectors_; ++d) {
         maxDeg = std::max<std::size_t>(maxDeg,
-                                       detBegin_[d + 1] - detBegin_[d]);
+                                       tanner_->detBegin[d + 1] - tanner_->detBegin[d]);
     }
     edgeNeg_.assign(maxDeg, 0);
     satFromDet_.assign(numDetectors_, -1);
@@ -161,11 +170,11 @@ BpOsdDecoder::runRegion(const std::vector<uint32_t> &cols,
     // worklist.
     regionDets_.clear();
     for (uint32_t c : cols) {
-        double prior = prior_[c];
+        double prior = tanner_->prior[c];
         posterior_[c] = 0.0;
-        for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+        for (uint32_t e = tanner_->colBegin[c]; e < tanner_->colBegin[c + 1]; ++e) {
             msgC2d_[e] = prior;
-            uint32_t d = colDet_[e];
+            uint32_t d = tanner_->colDet[e];
             if (detLocal_[d] < 0) {
                 detLocal_[d] = (int32_t)regionDets_.size();
                 regionDets_.push_back(d);
@@ -186,7 +195,7 @@ BpOsdDecoder::runRegion(const std::vector<uint32_t> &cols,
             detLocal_[d] = -1;
         }
         for (uint32_t c : cols) {
-            for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+            for (uint32_t e = tanner_->colBegin[c]; e < tanner_->colBegin[c + 1]; ++e) {
                 msgC2d_[e] = kInactive;
             }
         }
@@ -213,13 +222,13 @@ BpOsdDecoder::runRegion(const std::vector<uint32_t> &cols,
         // write-back pass needs no second gather, and the two-minimum
         // tracking compiles to conditional moves instead of branches.
         for (uint32_t d : regionDets_) {
-            uint32_t b = detBegin_[d], en = detBegin_[d + 1];
+            uint32_t b = tanner_->detBegin[d], en = tanner_->detBegin[d + 1];
             uint32_t deg = en - b;
             bool negProduct = syn_[d] != 0;
             double min1 = 1e300, min2 = 1e300;
             uint32_t argpos = UINT32_MAX;
             for (uint32_t i = 0; i < deg; ++i) {
-                double v = msgC2d_[detEdges_[b + i]];
+                double v = msgC2d_[tanner_->detEdges[b + i]];
                 bool neg = v < 0.0;
                 negProduct = negProduct != neg;
                 edgeNeg_[i] = neg;
@@ -235,7 +244,7 @@ BpOsdDecoder::runRegion(const std::vector<uint32_t> &cols,
             double m1 = scale * min1, m2 = scale * min2;
             for (uint32_t i = 0; i < deg; ++i) {
                 double mag = (i == argpos) ? m2 : m1;
-                msgD2c_[detEdges_[b + i]] =
+                msgD2c_[tanner_->detEdges[b + i]] =
                     (negProduct != (bool)edgeNeg_[i]) ? -mag : mag;
             }
         }
@@ -243,8 +252,8 @@ BpOsdDecoder::runRegion(const std::vector<uint32_t> &cols,
         // is maintained incrementally: a hard-decision flip toggles the
         // parity of the column's detectors.
         for (uint32_t c : cols) {
-            uint32_t b = colBegin_[c], en = colBegin_[c + 1];
-            double total = prior_[c];
+            uint32_t b = tanner_->colBegin[c], en = tanner_->colBegin[c + 1];
+            double total = tanner_->prior[c];
             for (uint32_t e = b; e < en; ++e) {
                 total += msgD2c_[e];
             }
@@ -253,7 +262,7 @@ BpOsdDecoder::runRegion(const std::vector<uint32_t> &cols,
             if (h != hard_[c]) {
                 hard_[c] = h;
                 for (uint32_t e = b; e < en; ++e) {
-                    uint32_t d = colDet_[e];
+                    uint32_t d = tanner_->colDet[e];
                     acc_[d] ^= 1;
                     mismatches += (acc_[d] != syn_[d]) ? 1 : -1;
                 }
@@ -278,7 +287,7 @@ BpOsdDecoder::runRegion(const std::vector<uint32_t> &cols,
     if (converged) {
         for (uint32_t c : cols) {
             if (hard_[c]) {
-                result ^= colObs_[c];
+                result ^= tanner_->colObs[c];
             }
         }
         solved = true;
@@ -291,7 +300,7 @@ BpOsdDecoder::runRegion(const std::vector<uint32_t> &cols,
         if (solved) {
             for (std::size_t c = 0; c < cols.size(); ++c) {
                 if (solUses_[c]) {
-                    result ^= colObs_[cols[c]];
+                    result ^= tanner_->colObs[cols[c]];
                 }
             }
         }
@@ -301,7 +310,7 @@ BpOsdDecoder::runRegion(const std::vector<uint32_t> &cols,
     // -1 local indices.
     for (uint32_t c : cols) {
         hard_[c] = 0;
-        for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+        for (uint32_t e = tanner_->colBegin[c]; e < tanner_->colBegin[c + 1]; ++e) {
             msgC2d_[e] = kInactive;
         }
     }
@@ -401,21 +410,21 @@ BpOsdDecoder::osdSolvePacked(const std::vector<uint32_t> &cols,
             uint64_t *bits = cache->bits.row(oc);
             if (!cache->built[oc]) {
                 cache->built[oc] = 1;
-                for (uint32_t e = colBegin_[gc]; e < colBegin_[gc + 1];
+                for (uint32_t e = tanner_->colBegin[gc]; e < tanner_->colBegin[gc + 1];
                      ++e) {
                     uint32_t ld = global_rows
-                                      ? colDet_[e]
-                                      : (uint32_t)detLocal_[colDet_[e]];
+                                      ? tanner_->colDet[e]
+                                      : (uint32_t)detLocal_[tanner_->colDet[e]];
                     bits[ld >> 6] |= uint64_t{1} << (ld & 63);
                 }
             }
             colBits = bits;
         } else {
             colWords_.assign(words, 0);
-            for (uint32_t e = colBegin_[gc]; e < colBegin_[gc + 1]; ++e) {
+            for (uint32_t e = tanner_->colBegin[gc]; e < tanner_->colBegin[gc + 1]; ++e) {
                 uint32_t ld = global_rows
-                                  ? colDet_[e]
-                                  : (uint32_t)detLocal_[colDet_[e]];
+                                  ? tanner_->colDet[e]
+                                  : (uint32_t)detLocal_[tanner_->colDet[e]];
                 colWords_[ld >> 6] |= uint64_t{1} << (ld & 63);
             }
             colBits = colWords_.data();
@@ -461,8 +470,8 @@ BpOsdDecoder::osdSolveScalar(const std::vector<uint32_t> &cols,
         uint32_t oc = osdKeys_[oi].pos;
         uint32_t gc = cols[oc];
         colWords_.assign(words, 0);
-        for (uint32_t e = colBegin_[gc]; e < colBegin_[gc + 1]; ++e) {
-            uint32_t ld = (uint32_t)detLocal_[colDet_[e]];
+        for (uint32_t e = tanner_->colBegin[gc]; e < tanner_->colBegin[gc + 1]; ++e) {
+            uint32_t ld = (uint32_t)detLocal_[tanner_->colDet[e]];
             colWords_[ld >> 6] |= uint64_t{1} << (ld & 63);
         }
         memScratch_.clear();
@@ -544,7 +553,7 @@ BpOsdDecoder::growRegion(const std::vector<uint32_t> &flipped)
     // of the seed rows extracted in canonical ascending order; both
     // match the BFS discovery-order region bit for bit.
     if (reachEnabled_ && !flipped.empty()) {
-        std::size_t ne = colDets_.size();
+        std::size_t ne = tanner_->colDets.size();
         if (reachCols_.rows() != numDetectors_) {
             // First use (a populated clone arrives already sized).
             reachCols_.reset(numDetectors_, ne);
@@ -569,7 +578,7 @@ BpOsdDecoder::growRegion(const std::vector<uint32_t> &flipped)
             }
         }
         if (saturated) {
-            errs_ = allCols_;
+            errs_ = tanner_->allCols;
             return;
         }
         std::size_t words = reachCols_.rowWords();
@@ -598,10 +607,10 @@ BpOsdDecoder::growRegion(const std::vector<uint32_t> &flipped)
             seedScratch_.assign(1, flipped[0]);
             growRegionBfs(seedScratch_);
             satFromDet_[flipped[0]] =
-                errs_.size() == colDets_.size() ? 1 : 0;
+                errs_.size() == tanner_->colDets.size() ? 1 : 0;
         }
         if (satFromDet_[flipped[0]] == 1) {
-            errs_ = allCols_;
+            errs_ = tanner_->allCols;
             return;
         }
     }
@@ -624,7 +633,7 @@ BpOsdDecoder::growRegionBfs(const std::vector<uint32_t> &seeds)
     // within a layer or two on the benchmark codes); once all columns are
     // in, later layers can only re-scan marks, so stop growing. The
     // column list and its order are unchanged by the early exit.
-    std::size_t ne = colDets_.size();
+    std::size_t ne = tanner_->colDets.size();
     for (std::size_t layer = 0;
          layer < opts_.regionRadius && errs_.size() < ne; ++layer) {
         newDets_.clear();
@@ -632,16 +641,16 @@ BpOsdDecoder::growRegionBfs(const std::vector<uint32_t> &seeds)
             if (errs_.size() == ne) {
                 break;
             }
-            for (uint32_t i = detBegin_[d]; i < detBegin_[d + 1]; ++i) {
-                uint32_t e = detCol_[i];
+            for (uint32_t i = tanner_->detBegin[d]; i < tanner_->detBegin[d + 1]; ++i) {
+                uint32_t e = tanner_->detCol[i];
                 if (errIn_[e]) {
                     continue;
                 }
                 errIn_[e] = 1;
                 errs_.push_back(e);
-                for (uint32_t j = colBegin_[e]; j < colBegin_[e + 1];
+                for (uint32_t j = tanner_->colBegin[e]; j < tanner_->colBegin[e + 1];
                      ++j) {
-                    uint32_t dd = colDet_[j];
+                    uint32_t dd = tanner_->colDet[j];
                     if (!detIn_[dd]) {
                         detIn_[dd] = 1;
                         touchedDets_.push_back(dd);
@@ -671,8 +680,8 @@ BpOsdDecoder::decodeFast(const std::vector<uint32_t> &flipped)
     }
     // Weight-1 fast path: a syndrome exactly matching one mechanism is
     // overwhelmingly most likely explained by it (p >> p^2).
-    auto hit = single_.find(flipped);
-    if (hit != single_.end()) {
+    auto hit = tanner_->single.find(flipped);
+    if (hit != tanner_->single.end()) {
         return hit->second.first;
     }
     growRegion(flipped);
@@ -680,7 +689,7 @@ BpOsdDecoder::decodeFast(const std::vector<uint32_t> &flipped)
     uint64_t result = runRegion(errs_, flipped, ok);
     if (!ok) {
         // Fall back to the full graph.
-        result = runRegion(allCols_, flipped, ok);
+        result = runRegion(tanner_->allCols, flipped, ok);
     }
     return result;
 }
@@ -719,7 +728,7 @@ BpOsdDecoder::decodeRegion(const std::vector<uint32_t> &errs,
     std::vector<uint32_t> dets;
     std::vector<int> det_local(numDetectors_, -1);
     for (uint32_t e : errs) {
-        for (uint32_t d : colDets_[e]) {
+        for (uint32_t d : tanner_->colDets[e]) {
             if (det_local[d] < 0) {
                 det_local[d] = (int)dets.size();
                 dets.push_back(d);
@@ -748,10 +757,10 @@ BpOsdDecoder::decodeRegion(const std::vector<uint32_t> &errs,
     std::vector<double> msg_c2d;      // column -> detector messages
     for (std::size_t c = 0; c < ne; ++c) {
         col_edges[c].begin = edge_det.size();
-        col_edges[c].count = colDets_[errs[c]].size();
-        for (uint32_t d : colDets_[errs[c]]) {
+        col_edges[c].count = tanner_->colDets[errs[c]].size();
+        for (uint32_t d : tanner_->colDets[errs[c]]) {
             edge_det.push_back((uint32_t)det_local[d]);
-            msg_c2d.push_back(prior_[errs[c]]);
+            msg_c2d.push_back(tanner_->prior[errs[c]]);
         }
     }
     std::vector<std::vector<uint32_t>> det_edges(nd);
@@ -813,7 +822,7 @@ BpOsdDecoder::decodeRegion(const std::vector<uint32_t> &errs,
         }
         // Column -> detector, posterior, hard decision.
         for (std::size_t c = 0; c < ne; ++c) {
-            double total = prior_[errs[c]];
+            double total = tanner_->prior[errs[c]];
             for (std::size_t k = 0; k < col_edges[c].count; ++k) {
                 total += msg_d2c[col_edges[c].begin + k];
             }
@@ -831,7 +840,7 @@ BpOsdDecoder::decodeRegion(const std::vector<uint32_t> &errs,
     if (converged) {
         for (std::size_t c = 0; c < ne; ++c) {
             if (hard[c]) {
-                result ^= colObs_[errs[c]];
+                result ^= tanner_->colObs[errs[c]];
             }
         }
         ok = true;
@@ -938,7 +947,7 @@ BpOsdDecoder::decodeRegion(const std::vector<uint32_t> &errs,
     }
     for (std::size_t c = 0; c < ne; ++c) {
         if (sol_uses[c]) {
-            result ^= colObs_[errs[c]];
+            result ^= tanner_->colObs[errs[c]];
         }
     }
     ok = true;
@@ -953,13 +962,13 @@ BpOsdDecoder::decodeReference(const std::vector<uint32_t> &flipped_detectors)
     }
     // Weight-1 fast path: a syndrome exactly matching one mechanism is
     // overwhelmingly most likely explained by it (p >> p^2).
-    auto hit = single_.find(flipped_detectors);
-    if (hit != single_.end()) {
+    auto hit = tanner_->single.find(flipped_detectors);
+    if (hit != tanner_->single.end()) {
         return hit->second.first;
     }
     // Localized region: errors within regionRadius expansion layers of the
     // flipped detectors.
-    std::vector<uint8_t> err_in(colDets_.size(), 0);
+    std::vector<uint8_t> err_in(tanner_->colDets.size(), 0);
     std::vector<uint8_t> det_in(numDetectors_, 0);
     std::vector<uint32_t> frontier_dets = flipped_detectors;
     std::vector<uint32_t> errs;
@@ -969,13 +978,13 @@ BpOsdDecoder::decodeReference(const std::vector<uint32_t> &flipped_detectors)
     for (std::size_t layer = 0; layer < opts_.regionRadius; ++layer) {
         std::vector<uint32_t> new_dets;
         for (uint32_t d : frontier_dets) {
-            for (uint32_t e : detCols_[d]) {
+            for (uint32_t e : tanner_->detCols[d]) {
                 if (err_in[e]) {
                     continue;
                 }
                 err_in[e] = 1;
                 errs.push_back(e);
-                for (uint32_t dd : colDets_[e]) {
+                for (uint32_t dd : tanner_->colDets[e]) {
                     if (!det_in[dd]) {
                         det_in[dd] = 1;
                         new_dets.push_back(dd);
@@ -994,7 +1003,7 @@ BpOsdDecoder::decodeReference(const std::vector<uint32_t> &flipped_detectors)
         return result;
     }
     // Fall back to the full graph.
-    std::vector<uint32_t> all(colDets_.size());
+    std::vector<uint32_t> all(tanner_->colDets.size());
     std::iota(all.begin(), all.end(), 0);
     result = decodeRegion(all, flipped_detectors, ok);
     return result;
@@ -1010,8 +1019,8 @@ BpOsdDecoder::osdPostPass(const std::vector<uint32_t> &cols,
     // runRegion builds it before handing over to osdSolve.
     regionDets_.clear();
     for (uint32_t c : cols) {
-        for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
-            uint32_t d = colDet_[e];
+        for (uint32_t e = tanner_->colBegin[c]; e < tanner_->colBegin[c + 1]; ++e) {
+            uint32_t d = tanner_->colDet[e];
             if (detLocal_[d] < 0) {
                 detLocal_[d] = (int32_t)regionDets_.size();
                 regionDets_.push_back(d);

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -134,11 +135,47 @@ class BpOsdDecoder : public Decoder
                      const std::vector<uint32_t> &flipped, bool packed,
                      std::vector<uint8_t> &uses);
 
+    /**
+     * Clones share the immutable per-DEM Tanner structure (one
+     * shared_ptr<const Tanner> behind every copy), so cloning a
+     * prototype for another worker or lane group copies only the
+     * mutable per-shot scratch, not the graph.
+     */
     std::unique_ptr<Decoder>
     clone() const override
     {
         return std::make_unique<BpOsdDecoder>(*this);
     }
+
+    /**
+     * Immutable per-DEM decode structure: the column-compressed DEM plus
+     * the flattened global Tanner CSR, built once per DEM by
+     * buildTanner() and referenced read-only by every per-shot pass.
+     * Edge e of column c spans colBegin[c]..colBegin[c+1] in (column,
+     * slot) order; detEdges groups the same edge ids by detector.
+     */
+    struct Tanner
+    {
+        /** Exact lookup: detector signature -> (obs mask, p) of the
+         * likeliest single mechanism. Fixes BP's tendency to explain a
+         * weight-1 syndrome with a heavier degenerate solution. */
+        std::map<std::vector<uint32_t>, std::pair<uint64_t, double>> single;
+        // Column-compressed DEM.
+        std::vector<std::vector<uint32_t>> colDets;
+        std::vector<uint64_t> colObs;
+        std::vector<double> prior; ///< log((1-p)/p) per column.
+        std::vector<std::vector<uint32_t>> detCols;
+        // Global Tanner CSR.
+        std::vector<uint32_t> colBegin;
+        std::vector<uint32_t> colDet;   ///< Edge -> detector.
+        std::vector<uint32_t> detBegin;
+        std::vector<uint32_t> detEdges; ///< Detector -> edge ids, (c, k) order.
+        std::vector<uint32_t> detCol;   ///< Column of detEdges[i] (growth).
+        std::vector<uint32_t> allCols;  ///< 0..numErrors-1 (full-graph pass).
+    };
+
+    /** Build the shared read-only Tanner structure of @p dem. */
+    static std::shared_ptr<const Tanner> buildTanner(const sim::Dem &dem);
 
   private:
     /** Reference decode restricted to a subset of error columns;
@@ -293,25 +330,9 @@ class BpOsdDecoder : public Decoder
 
     BpOsdOptions opts_;
     std::size_t numDetectors_;
-    /** Exact lookup: detector signature -> (obs mask, p) of the likeliest
-     * single mechanism. Fixes BP's tendency to explain a weight-1
-     * syndrome with a heavier degenerate solution. */
-    std::map<std::vector<uint32_t>, std::pair<uint64_t, double>> single_;
-    // Column-compressed DEM.
-    std::vector<std::vector<uint32_t>> colDets_;
-    std::vector<uint64_t> colObs_;
-    std::vector<double> prior_; ///< log((1-p)/p) per column.
-    std::vector<std::vector<uint32_t>> detCols_;
-
-    // Global Tanner CSR, built once per DEM. Edge e of column c spans
-    // colBegin_[c]..colBegin_[c+1] in (column, slot) order; detEdges_
-    // groups the same edge ids by detector.
-    std::vector<uint32_t> colBegin_;
-    std::vector<uint32_t> colDet_;    ///< Edge -> detector.
-    std::vector<uint32_t> detBegin_;
-    std::vector<uint32_t> detEdges_;  ///< Detector -> edge ids, (c, k) order.
-    std::vector<uint32_t> detCol_;    ///< Column of detEdges_[i] (growth).
-    std::vector<uint32_t> allCols_;   ///< 0..numErrors-1 (full-graph pass).
+    /** Shared immutable DEM structure; every clone points at the same
+     * Tanner, only the scratch below is per-instance. */
+    std::shared_ptr<const Tanner> tanner_;
 
     // Per-shot scratch. Invariants between shots: msgC2d_ holds the
     // inactive-edge sentinel everywhere, flag arrays are zero, and

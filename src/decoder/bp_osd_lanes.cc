@@ -609,8 +609,8 @@ laneUseAvx512()
 void
 BpOsdDecoder::laneEnsure(std::size_t w)
 {
-    std::size_t edges = colDet_.size();
-    std::size_t ne = colDets_.size();
+    std::size_t edges = tanner_->colDet.size();
+    std::size_t ne = tanner_->colDets.size();
     if (laneW_ == w && laneMsg_.size() == edges * w) {
         return;
     }
@@ -621,15 +621,15 @@ BpOsdDecoder::laneEnsure(std::size_t w)
     if (edgePrior_.empty()) {
         edgePrior_.resize(edges);
         for (std::size_t c = 0; c < ne; ++c) {
-            for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
-                edgePrior_[e] = prior_[c];
+            for (uint32_t e = tanner_->colBegin[c]; e < tanner_->colBegin[c + 1]; ++e) {
+                edgePrior_[e] = tanner_->prior[c];
             }
         }
     }
     std::size_t maxDeg = 0;
     for (std::size_t d = 0; d < numDetectors_; ++d) {
         maxDeg = std::max<std::size_t>(maxDeg,
-                                       detBegin_[d + 1] - detBegin_[d]);
+                                       tanner_->detBegin[d + 1] - tanner_->detBegin[d]);
     }
     laneStage_.assign(maxDeg * w, 0.0);
     laneHardBits_.assign(ne, 0);
@@ -658,7 +658,7 @@ BpOsdDecoder::laneInstall(std::size_t l, std::size_t shot,
     // The caller just grew the region into errs_; take it over wholesale.
     laneCols_[l].swap(errs_);
     laneFlipped_[l].assign(flipped.begin(), flipped.end());
-    if (laneCols_[l].size() == colDets_.size()) {
+    if (laneCols_[l].size() == tanner_->colDets.size()) {
         // Saturated region: the lane's bit planes cover every edge and
         // column, and every detector with an incident error — exactly
         // the marks the per-column walk would set, written as
@@ -670,16 +670,16 @@ BpOsdDecoder::laneInstall(std::size_t l, std::size_t shot,
             colLaneMask_[c] |= bit;
         }
         for (std::size_t d = 0; d < numDetectors_; ++d) {
-            if (detBegin_[d + 1] != detBegin_[d]) {
+            if (tanner_->detBegin[d + 1] != tanner_->detBegin[d]) {
                 detLaneMask_[d] |= bit;
             }
         }
     } else {
         for (uint32_t c : laneCols_[l]) {
             colLaneMask_[c] |= bit;
-            for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1]; ++e) {
+            for (uint32_t e = tanner_->colBegin[c]; e < tanner_->colBegin[c + 1]; ++e) {
                 laneEdgeActive_[e] |= ebit;
-                detLaneMask_[colDet_[e]] |= bit;
+                detLaneMask_[tanner_->colDet[e]] |= bit;
             }
         }
     }
@@ -704,11 +704,11 @@ BpOsdDecoder::osdEnqueue(std::size_t l)
     }
     OsdJob &job = osdQueue_[osdQueueSize_++];
     const std::size_t W = laneW_;
-    std::size_t ne = colDets_.size();
+    std::size_t ne = tanner_->colDets.size();
     job.shot = laneShot_[l];
     job.saturated = laneCols_[l].size() == ne;
     if (job.saturated) {
-        // Canonical column order (allCols_): saturated regions differ
+        // Canonical column order (tanner_->allCols): saturated regions differ
         // only in discovery order, which the OSD result is invariant to
         // (global-id tie-break + row-numbering-free solution), so every
         // saturated job lands in one shared flush group.
@@ -762,7 +762,7 @@ BpOsdDecoder::osdFlush(uint64_t *obs_out, PackedDecodeStats *stats)
     while (i < osdQueueSize_) {
         const OsdJob &rep = osdQueue_[osdOrderIdx_[i]];
         const std::vector<uint32_t> &cols =
-            rep.saturated ? allCols_ : rep.cols;
+            rep.saturated ? tanner_->allCols : rep.cols;
         std::size_t j = i + 1;
         while (j < osdQueueSize_) {
             const OsdJob &o = osdQueue_[osdOrderIdx_[j]];
@@ -787,7 +787,7 @@ BpOsdDecoder::osdFlush(uint64_t *obs_out, PackedDecodeStats *stats)
         if (packed) {
             std::size_t edgeBound = 0;
             for (uint32_t c : cols) {
-                edgeBound += colBegin_[c + 1] - colBegin_[c];
+                edgeBound += tanner_->colBegin[c + 1] - tanner_->colBegin[c];
                 if (4 * edgeBound >= numDetectors_) {
                     break;
                 }
@@ -797,9 +797,9 @@ BpOsdDecoder::osdFlush(uint64_t *obs_out, PackedDecodeStats *stats)
         if (!packed || !globalRows) {
             regionDets_.clear();
             for (uint32_t c : cols) {
-                for (uint32_t e = colBegin_[c]; e < colBegin_[c + 1];
+                for (uint32_t e = tanner_->colBegin[c]; e < tanner_->colBegin[c + 1];
                      ++e) {
-                    uint32_t d = colDet_[e];
+                    uint32_t d = tanner_->colDet[e];
                     if (detLocal_[d] < 0) {
                         detLocal_[d] = (int32_t)regionDets_.size();
                         regionDets_.push_back(d);
@@ -832,7 +832,7 @@ BpOsdDecoder::osdFlush(uint64_t *obs_out, PackedDecodeStats *stats)
                 uint64_t result = 0;
                 for (std::size_t c = 0; c < cols.size(); ++c) {
                     if (solUses_[c]) {
-                        result ^= colObs_[cols[c]];
+                        result ^= tanner_->colObs[cols[c]];
                     }
                 }
                 obs_out[job.shot] = result;
@@ -850,7 +850,7 @@ BpOsdDecoder::osdFlush(uint64_t *obs_out, PackedDecodeStats *stats)
             // its own scratch; the lane arrays are untouched by it).
             OsdJob &job = osdQueue_[fk];
             bool ok = false;
-            obs_out[job.shot] = runRegion(allCols_, job.flipped, ok);
+            obs_out[job.shot] = runRegion(tanner_->allCols, job.flipped, ok);
         }
         i = j;
     }
@@ -874,7 +874,7 @@ BpOsdDecoder::laneRetire(std::size_t l, bool converged, uint64_t *obs_out)
         uint64_t result = 0;
         for (uint32_t c : laneCols_[l]) {
             if (laneHardBits_[c] & bit) {
-                result ^= colObs_[c];
+                result ^= tanner_->colObs[c];
             }
         }
         obs_out[laneShot_[l]] = result;
@@ -916,7 +916,7 @@ BpOsdDecoder::laneIterate(int simd_level)
     LaneCtx cx;
     cx.W = laneW_;
     cx.numDetectors = numDetectors_;
-    cx.numCols = colDets_.size();
+    cx.numCols = tanner_->colDets.size();
     cx.scale = opts_.scale;
     cx.freshLanes = 0;
     for (std::size_t l = 0; l < laneW_; ++l) {
@@ -924,11 +924,11 @@ BpOsdDecoder::laneIterate(int simd_level)
             cx.freshLanes |= uint32_t{1} << l;
         }
     }
-    cx.colBegin = colBegin_.data();
-    cx.colDet = colDet_.data();
-    cx.detBegin = detBegin_.data();
-    cx.detEdges = detEdges_.data();
-    cx.prior = prior_.data();
+    cx.colBegin = tanner_->colBegin.data();
+    cx.colDet = tanner_->colDet.data();
+    cx.detBegin = tanner_->detBegin.data();
+    cx.detEdges = tanner_->detEdges.data();
+    cx.prior = tanner_->prior.data();
     cx.edgePrior = edgePrior_.data();
     cx.msg = laneMsg_.data();
     cx.stage = laneStage_.data();
@@ -1038,8 +1038,8 @@ BpOsdDecoder::decodePacked(const sim::FrameView &frames, uint64_t *obs_out,
         }
         flippedScratch_.assign(packedFlipped_.begin() + fb,
                                packedFlipped_.begin() + fe);
-        auto hit = single_.find(flippedScratch_);
-        if (hit != single_.end()) {
+        auto hit = tanner_->single.find(flippedScratch_);
+        if (hit != tanner_->single.end()) {
             obs_out[s] = hit->second.first;
             continue;
         }
@@ -1052,7 +1052,7 @@ BpOsdDecoder::decodePacked(const sim::FrameView &frames, uint64_t *obs_out,
         }
         bool disconnected = false;
         for (uint32_t d : flippedScratch_) {
-            if (detBegin_[d + 1] == detBegin_[d]) {
+            if (tanner_->detBegin[d + 1] == tanner_->detBegin[d]) {
                 disconnected = true;
                 break;
             }
@@ -1085,7 +1085,7 @@ BpOsdDecoder::decodePacked(const sim::FrameView &frames, uint64_t *obs_out,
                     // regionRadius == 0: the scalar path's region attempt
                     // is infeasible and it decodes on the full graph.
                     bool ok = false;
-                    obs_out[s] = runRegion(allCols_, flippedScratch_, ok);
+                    obs_out[s] = runRegion(tanner_->allCols, flippedScratch_, ok);
                     continue;
                 }
                 laneInstall(l, s, flippedScratch_);

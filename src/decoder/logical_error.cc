@@ -12,21 +12,6 @@
 
 namespace prophunt::decoder {
 
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-const char *
-decoderName(DecoderKind kind)
-{
-    return kind == DecoderKind::UnionFind ? "union_find" : "bp_osd";
-}
-
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-
 std::unique_ptr<Decoder>
 makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
             const DecoderSpec &spec)
@@ -34,61 +19,28 @@ makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
     return Registry::make(spec, dem, circuit);
 }
 
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-std::unique_ptr<Decoder>
-makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
-            DecoderKind kind)
-{
-    return makeDecoder(dem, circuit, DecoderSpec{decoderName(kind)});
-}
-
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-
-namespace {
-
-/** Per-worker storage reused across shards: per-shot predictions and the
- * observable masks read straight from the frame rows. */
-struct ShardWorkspace
-{
-    std::vector<uint64_t> predictions;
-    std::vector<uint64_t> obsMasks;
-    PackedDecodeStats stats;
-};
-
-/**
- * Decode one sampled shard; returns its failure count.
- *
- * Frames flow into the decoder packed (decodePacked): decoders with a
- * native frame path (BP+OSD lanes) never see a transpose, everything
- * else is adapted inside the default implementation. The expected
- * observable masks are likewise read from the frame rows, so the 64x64
- * transpose survives only inside the adapter for non-packed decoders.
- * Identical bits and predictions to the scalar per-shot path.
- */
 std::size_t
-decodeShard(Decoder &dec, const sim::FrameBatch &frames, ShardWorkspace &ws)
+decodeFrameShard(Decoder &dec, const sim::FrameBatch &frames,
+                 FrameShardScratch &scratch)
 {
+    // The expected observable masks are read from the frame rows, so the
+    // 64x64 transpose survives only inside the adapter for non-packed
+    // decoders. Identical bits and predictions to the scalar per-shot
+    // path.
     std::size_t shard_shots = frames.shots;
-    ws.predictions.resize(shard_shots);
-    ws.stats = PackedDecodeStats{};
-    dec.decodePacked(frames.view(), ws.predictions.data(), &ws.stats);
-    frames.obsMasks(ws.obsMasks);
+    scratch.predictions.resize(shard_shots);
+    scratch.stats = PackedDecodeStats{};
+    dec.decodePacked(frames.view(), scratch.predictions.data(),
+                     &scratch.stats);
+    frames.obsMasks(scratch.obsMasks);
     std::size_t failures = 0;
     for (std::size_t s = 0; s < shard_shots; ++s) {
-        if (ws.predictions[s] != ws.obsMasks[s]) {
+        if (scratch.predictions[s] != scratch.obsMasks[s]) {
             ++failures;
         }
     }
     return failures;
 }
-
-} // namespace
 
 LerResult
 measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
@@ -114,7 +66,7 @@ measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
         clones.push_back(dec.clone());
     }
 
-    std::vector<ShardWorkspace> workspaces(workers);
+    std::vector<FrameShardScratch> workspaces(workers);
     std::vector<std::size_t> shardFailures(n, 0);
     std::vector<PackedDecodeStats> shardStats(n);
     std::vector<uint8_t> shardDone(n, 0);
@@ -130,8 +82,8 @@ measureDemLer(const sim::Dem &dem, Decoder &dec, std::size_t shots,
         [&](std::size_t shard, std::size_t worker,
             const sim::FrameBatch &frames) {
             Decoder &d = worker == 0 ? dec : *clones[worker - 1];
-            ShardWorkspace &ws = workspaces[worker];
-            std::size_t f = decodeShard(d, frames, ws);
+            FrameShardScratch &ws = workspaces[worker];
+            std::size_t f = decodeFrameShard(d, frames, ws);
             std::lock_guard<std::mutex> lock(prefixMutex);
             shardFailures[shard] = f;
             shardStats[shard] = ws.stats;
@@ -209,34 +161,5 @@ measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
     return measureMemoryLer(schedule, rounds, noise, spec, shots, seed,
                             LerOptions{});
 }
-
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-MemoryLer
-measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
-                 const sim::NoiseModel &noise, DecoderKind kind,
-                 std::size_t shots, uint64_t seed, const LerOptions &opts)
-{
-    return measureMemoryLer(schedule, rounds, noise,
-                            DecoderSpec{decoderName(kind)}, shots, seed,
-                            opts);
-}
-
-MemoryLer
-measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
-                 const sim::NoiseModel &noise, DecoderKind kind,
-                 std::size_t shots, uint64_t seed)
-{
-    return measureMemoryLer(schedule, rounds, noise,
-                            DecoderSpec{decoderName(kind)}, shots, seed,
-                            LerOptions{});
-}
-
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
 
 } // namespace prophunt::decoder

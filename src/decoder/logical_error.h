@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "circuit/schedule.h"
 #include "circuit/sm_circuit.h"
@@ -23,57 +24,14 @@
 
 namespace prophunt::decoder {
 
-// The legacy closed DecoderKind enum and its overloads are deprecated:
-// pass a DecoderSpec ("union_find", "bp_osd", ...) instead; see
-// decoder/registry.h. Removal timeline: the alias is emit-a-warning
-// deprecated as of PR 4 and will be deleted outright in PR 6 — migrate
-// now. The pragmas keep this header itself warning-clean under -Werror;
-// call sites still get the deprecation diagnostics.
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-/**
- * Decoder selection for LER measurements.
- *
- * Deprecated compatibility alias over registry names: new code should
- * pass a DecoderSpec ("union_find", "bp_osd", ...) instead.
- */
-enum class [[deprecated(
-    "use DecoderSpec registry names (\"union_find\", \"bp_osd\"); "
-    "DecoderKind will be removed in PR 6")]] DecoderKind
-{
-    UnionFind, ///< Matching decoder, for surface codes.
-    BpOsd,     ///< LDPC decoder, for LP/RQT codes.
-};
-
-/** Registry name of a legacy DecoderKind value. */
-[[deprecated("use DecoderSpec registry names directly")]] const char *
-decoderName(DecoderKind kind);
-
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
+// The legacy closed DecoderKind enum and its compatibility overloads
+// were deprecated in PR 4 and deleted in PR 6: pass a DecoderSpec
+// ("union_find", "bp_osd", ...) instead; see decoder/registry.h.
 
 /** Build a decoder for a DEM through the registry. */
 std::unique_ptr<Decoder> makeDecoder(const sim::Dem &dem,
                                      const circuit::SmCircuit &circuit,
                                      const DecoderSpec &spec);
-
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-/** Deprecated: DecoderKind compatibility overload. */
-[[deprecated("pass a DecoderSpec instead")]] std::unique_ptr<Decoder>
-makeDecoder(const sim::Dem &dem, const circuit::SmCircuit &circuit,
-            DecoderKind kind);
-
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
 
 /** Outcome of one Monte-Carlo LER estimate. */
 struct LerResult
@@ -116,6 +74,31 @@ struct LerOptions
     /** Shots per shard (granularity of parallelism and early stopping). */
     std::size_t shardShots = sim::kDefaultShardShots;
 };
+
+/**
+ * Per-worker storage reused across shard decodes: per-shot predictions
+ * and the observable masks read straight from the frame rows.
+ */
+struct FrameShardScratch
+{
+    std::vector<uint64_t> predictions;
+    std::vector<uint64_t> obsMasks;
+    PackedDecodeStats stats;
+};
+
+/**
+ * Decode one sampled frame shard with @p dec; returns its failure count
+ * and leaves the shard's packed-path telemetry in @p scratch.stats.
+ *
+ * Frames flow into the decoder packed (decodePacked): decoders with a
+ * native frame path (BP+OSD lanes) never see a transpose, everything
+ * else is adapted inside the default implementation. The one shard-tally
+ * computation shared by measureDemLer and api::DecodeService — a tally
+ * recorded under (DEM, decoder, shard seed, shard shots) is bit-exact
+ * reusable wherever the same tuple recurs.
+ */
+std::size_t decodeFrameShard(Decoder &dec, const sim::FrameBatch &frames,
+                             FrameShardScratch &scratch);
 
 /**
  * Sample the DEM and decode each shot; failures are observable misses.
@@ -171,25 +154,6 @@ MemoryLer measureMemoryLer(const circuit::SmSchedule &schedule,
                            std::size_t rounds, const sim::NoiseModel &noise,
                            const DecoderSpec &spec, std::size_t shots,
                            uint64_t seed);
-
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-/** Deprecated: DecoderKind compatibility overloads. */
-[[deprecated("pass a DecoderSpec instead")]] MemoryLer
-measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
-                 const sim::NoiseModel &noise, DecoderKind kind,
-                 std::size_t shots, uint64_t seed, const LerOptions &opts);
-[[deprecated("pass a DecoderSpec instead")]] MemoryLer
-measureMemoryLer(const circuit::SmSchedule &schedule, std::size_t rounds,
-                 const sim::NoiseModel &noise, DecoderKind kind,
-                 std::size_t shots, uint64_t seed);
-
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
 
 } // namespace prophunt::decoder
 

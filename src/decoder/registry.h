@@ -5,8 +5,8 @@
  * Decoders are constructed by name through `Registry::make("bp_osd", ...)`
  * with per-backend options structs, so new backends (matching variants,
  * future SIMD min-sum lanes, external decoders) plug in without touching
- * call sites. This subsumes the old closed `DecoderKind` enum, which
- * remains only as a deprecated alias over registry names.
+ * call sites. This subsumed — and PR 6 deleted — the old closed
+ * `DecoderKind` enum.
  */
 #ifndef PROPHUNT_DECODER_REGISTRY_H
 #define PROPHUNT_DECODER_REGISTRY_H

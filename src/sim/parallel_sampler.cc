@@ -46,89 +46,161 @@ shardWorkers(const ShardPlan &plan, std::size_t threads)
     return std::min(resolveThreads(threads), plan.numShards());
 }
 
+/**
+ * One queued index range. Lives on the caller's stack: the caller never
+ * returns from run() while any participant is inside, and removes the run
+ * from the queue before waiting, so no worker can observe a dead pointer.
+ */
+struct WorkerPool::RunState
+{
+    std::size_t n = 0;
+    std::size_t maxSlots = 1;
+    const std::function<void(std::size_t, std::size_t)> *fn = nullptr;
+    const std::atomic<bool> *stop = nullptr;
+    /** Next index to claim; guarded by the pool mutex. */
+    std::size_t cursor = 0;
+    /** Dense participant slots handed out so far (slot 0 is the caller). */
+    std::size_t slotsUsed = 0;
+    /** Threads currently inside drainLocked for this run. */
+    std::size_t participants = 0;
+    bool stopped = false;
+    std::exception_ptr error;
+    std::condition_variable doneCv;
+
+    bool
+    hasWork() const
+    {
+        return !stopped && cursor < n &&
+               (stop == nullptr || !stop->load(std::memory_order_relaxed));
+    }
+};
+
+WorkerPool::WorkerPool(std::size_t threads)
+{
+    threads_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        threads_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : threads_) {
+        t.join();
+    }
+}
+
+WorkerPool &
+WorkerPool::shared()
+{
+    static WorkerPool pool(resolveThreads(0) - 1);
+    return pool;
+}
+
+void
+WorkerPool::drainLocked(RunState &run, std::size_t slot,
+                        std::unique_lock<std::mutex> &lock)
+{
+    while (run.hasWork()) {
+        std::size_t i = run.cursor++;
+        lock.unlock();
+        try {
+            (*run.fn)(i, slot);
+        } catch (...) {
+            lock.lock();
+            if (!run.error) {
+                run.error = std::current_exception();
+            }
+            run.stopped = true;
+            return;
+        }
+        lock.lock();
+    }
+}
+
+void
+WorkerPool::run(std::size_t n, std::size_t maxSlots,
+                const std::function<void(std::size_t, std::size_t)> &fn,
+                const std::atomic<bool> *stop)
+{
+    if (n == 0) {
+        return;
+    }
+    RunState run;
+    run.n = n;
+    run.maxSlots = std::max<std::size_t>(maxSlots, 1);
+    run.fn = &fn;
+    run.stop = stop;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    run.slotsUsed = 1; // the caller is participant 0
+    run.participants = 1;
+    bool queued = run.maxSlots > 1 && n > 1 && !threads_.empty();
+    if (queued) {
+        queue_.push_back(&run);
+        workCv_.notify_all();
+    }
+    drainLocked(run, 0, lock);
+    run.participants--;
+    if (queued) {
+        queue_.erase(std::find(queue_.begin(), queue_.end(), &run));
+        run.doneCv.wait(lock, [&] { return run.participants == 0; });
+    }
+    if (run.error) {
+        lock.unlock();
+        std::rethrow_exception(run.error);
+    }
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        RunState *pick = nullptr;
+        for (RunState *r : queue_) {
+            if (r->hasWork() && r->slotsUsed < r->maxSlots) {
+                pick = r;
+                break;
+            }
+        }
+        if (pick == nullptr) {
+            if (shutdown_) {
+                return;
+            }
+            workCv_.wait(lock);
+            continue;
+        }
+        std::size_t slot = pick->slotsUsed++;
+        pick->participants++;
+        drainLocked(*pick, slot, lock);
+        pick->participants--;
+        if (pick->participants == 0) {
+            pick->doneCv.notify_all();
+        }
+    }
+}
+
 void
 forEachShard(const ShardPlan &plan, std::size_t threads,
              const std::function<void(std::size_t, std::size_t)> &fn,
              const std::atomic<bool> *stop)
 {
-    std::size_t n = plan.numShards();
-    if (n == 0) {
-        return;
-    }
-    std::atomic<std::size_t> next{0};
-    auto run = [&](std::size_t worker) {
-        for (;;) {
-            if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
-                return;
-            }
-            std::size_t shard = next.fetch_add(1);
-            if (shard >= n) {
-                return;
-            }
-            fn(shard, worker);
-        }
-    };
-
-    std::size_t workers = shardWorkers(plan, threads);
-    if (workers <= 1) {
-        run(0);
-        return;
-    }
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (std::size_t w = 1; w < workers; ++w) {
-        pool.emplace_back(run, w);
-    }
-    try {
-        run(0);
-    } catch (...) {
-        for (std::thread &t : pool) {
-            t.join();
-        }
-        throw;
-    }
-    for (std::thread &t : pool) {
-        t.join();
-    }
+    WorkerPool::shared().run(plan.numShards(), shardWorkers(plan, threads),
+                             fn, stop);
 }
 
 void
 parallelFor(std::size_t n, std::size_t threads,
             const std::function<void(std::size_t)> &fn)
 {
-    if (n == 0) {
-        return;
-    }
-    std::size_t workers = std::min(resolveThreads(threads), n);
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i) {
-            fn(i);
-        }
-        return;
-    }
-    std::atomic<std::size_t> next{0};
-    auto run = [&]() {
-        for (std::size_t i = next.fetch_add(1); i < n;
-             i = next.fetch_add(1)) {
-            fn(i);
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (std::size_t w = 1; w < workers; ++w) {
-        pool.emplace_back(run);
-    }
-    try {
-        run();
-    } catch (...) {
-        for (std::thread &t : pool) {
-            t.join();
-        }
-        throw;
-    }
-    for (std::thread &t : pool) {
-        t.join();
-    }
+    WorkerPool::shared().run(n, std::min(resolveThreads(threads), n),
+                             [&fn](std::size_t i, std::size_t) { fn(i); });
 }
 
 void

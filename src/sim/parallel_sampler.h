@@ -7,16 +7,20 @@
  * with the master seed. The result is therefore defined as the
  * concatenation of independent per-shard serial runs, which makes it
  * bit-identical for every thread count (including 1) at a fixed master
- * seed. Threads claim shards from an atomic counter and write into
- * disjoint row ranges of one shared batch.
+ * seed. Shards are claimed in ascending order from a persistent WorkerPool
+ * and written into disjoint row ranges of one shared batch.
  */
 #ifndef PROPHUNT_SIM_PARALLEL_SAMPLER_H
 #define PROPHUNT_SIM_PARALLEL_SAMPLER_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "sim/frame_sampler.h"
 #include "sim/sampler.h"
@@ -67,6 +71,71 @@ struct ShardPlan
 std::size_t shardWorkers(const ShardPlan &plan, std::size_t threads);
 
 /**
+ * Persistent pool of worker threads draining index runs.
+ *
+ * A run is a half-open index range [0, n) executed by at most @p maxSlots
+ * concurrent participants. The calling thread always participates (so a
+ * pool with zero threads degrades to a serial loop, and nested runs issued
+ * from inside a pool worker always make progress: every run's caller can
+ * drain it alone). Idle pool workers pick the oldest queued run with both
+ * work and a free participant slot — when several runs are queued this is
+ * what work stealing looks like from the outside: a thread that finished
+ * one run's indices moves straight onto another run's queue.
+ *
+ * Each participant is handed a dense slot id in [0, maxSlots); slot 0 is
+ * always the caller. Indices are claimed from a cursor under the pool
+ * mutex, so the claim order is ascending and the completed set is a
+ * contiguous prefix when a run is stopped early. Exceptions thrown by the
+ * work function stop the run and are rethrown on the calling thread.
+ */
+class WorkerPool
+{
+  public:
+    /** Spawn @p threads pool workers (callers additionally help). */
+    explicit WorkerPool(std::size_t threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Worker threads owned by the pool (the caller of run() is extra). */
+    std::size_t
+    threadCount() const
+    {
+        return threads_.size();
+    }
+
+    /**
+     * Process-wide pool sized hardware_concurrency() - 1, so one caller
+     * plus the pool saturates the machine. Created on first use.
+     */
+    static WorkerPool &shared();
+
+    /**
+     * Run @p fn(i, slot) for i in [0, n) on up to @p maxSlots participants
+     * (the caller included). Returns when every claimed index finished.
+     * If @p stop is non-null it is checked before each claim; indices
+     * already claimed still complete.
+     */
+    void run(std::size_t n, std::size_t maxSlots,
+             const std::function<void(std::size_t, std::size_t)> &fn,
+             const std::atomic<bool> *stop = nullptr);
+
+  private:
+    struct RunState;
+
+    void workerLoop();
+    void drainLocked(RunState &run, std::size_t slot,
+                     std::unique_lock<std::mutex> &lock);
+
+    std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::vector<RunState *> queue_;
+    std::vector<std::thread> threads_;
+    bool shutdown_ = false;
+};
+
+/**
  * Throw std::invalid_argument if any mechanism has p >= 1.
  *
  * Callers that sample on pool threads must validate before spawning: a
@@ -77,10 +146,10 @@ void validateDemProbabilities(const Dem &dem, const char *where);
 /**
  * Run @p fn(i) for i in [0, n) across @p threads workers.
  *
- * The shared work-stealing loop used by both the sampling shards and the
- * PropHunt optimizer's candidate verification: indices are claimed from an
- * atomic counter, @p threads = 0 means hardware concurrency, and @p fn must
- * not throw from pool threads.
+ * The shared work-distribution loop used by both the sampling shards and
+ * the PropHunt optimizer's candidate verification: indices are claimed in
+ * ascending order from WorkerPool::shared(), and @p threads = 0 means
+ * hardware concurrency.
  */
 void parallelFor(std::size_t n, std::size_t threads,
                  const std::function<void(std::size_t)> &fn);
@@ -88,12 +157,11 @@ void parallelFor(std::size_t n, std::size_t threads,
 /**
  * Run @p fn(shard, worker) for every shard of @p plan.
  *
- * Shards are claimed from an atomic counter, so claim order is ascending;
- * worker is in [0, shardWorkers(plan, threads)) and lets callers keep
- * per-worker state (e.g. a cloned decoder). If @p stop is non-null it is
- * checked before each claim; shards already claimed still complete, which
- * keeps the completed set a contiguous prefix. @p fn must not throw from
- * pool threads — validate inputs before calling.
+ * Shards are claimed in ascending order from WorkerPool::shared(); worker
+ * is in [0, shardWorkers(plan, threads)) and lets callers keep per-worker
+ * state (e.g. a cloned decoder). If @p stop is non-null it is checked
+ * before each claim; shards already claimed still complete, which keeps
+ * the completed set a contiguous prefix.
  */
 void forEachShard(const ShardPlan &plan, std::size_t threads,
                   const std::function<void(std::size_t, std::size_t)> &fn,

@@ -1,0 +1,661 @@
+/**
+ * @file
+ * Concurrency and determinism contracts of api::DecodeService.
+ *
+ * The service promise under test: measure() returns exactly what a
+ * serial decoder::measureDemLer run returns for the same (dem, decoder,
+ * shots, seed, ler) — for every thread count, every arrival order of
+ * concurrent requests, and every coalescing / tally-reuse / lane-group
+ * cache state. On top of that, the suite pins the service-only
+ * behaviors: deterministic coalescing detection (via a gate decoder
+ * that holds one request in flight until a second is admitted),
+ * bit-exact cross-request shot reuse including the partial-trailing-
+ * shard guard, FIFO eviction of tally keys and lane groups, warm-clone
+ * checkout accounting, cancellation prefix semantics, and the
+ * WorkerPool primitive itself (full coverage, nesting, exception
+ * propagation, stop flags).
+ *
+ * Everything asserted here is thread-count and wall-clock invariant;
+ * PackedDecodeStats::osdUs (wall time) is deliberately never compared.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/decode_service.h"
+#include "circuit/coloration.h"
+#include "code/surface.h"
+#include "decoder/decoder.h"
+#include "decoder/logical_error.h"
+#include "decoder/registry.h"
+#include "sim/dem_builder.h"
+#include "sim/frame_sampler.h"
+#include "sim/noise_model.h"
+#include "sim/parallel_sampler.h"
+
+using namespace prophunt;
+
+namespace {
+
+/** One decode problem: a d=3 surface memory DEM plus a prototype. The
+ * shared_ptr to the model doubles as the job's keepAlive identity. */
+struct Model
+{
+    circuit::SmCircuit circuit;
+    sim::Dem dem;
+    std::unique_ptr<decoder::Decoder> prototype;
+};
+
+std::shared_ptr<Model>
+makeModel(const decoder::DecoderSpec &spec = "union_find", double p = 3e-3)
+{
+    auto cp = std::make_shared<const code::CssCode>(code::SurfaceCode(3).code());
+    auto m = std::make_shared<Model>();
+    m->circuit = circuit::buildMemoryCircuit(circuit::colorationSchedule(cp),
+                                             3, circuit::MemoryBasis::Z);
+    m->dem = sim::buildDem(m->circuit, sim::NoiseModel::uniform(p));
+    m->prototype = decoder::Registry::make(spec, m->dem, m->circuit);
+    return m;
+}
+
+api::DecodeJob
+jobFor(const std::shared_ptr<Model> &m, std::string key, std::size_t shots,
+       uint64_t seed, std::size_t shard_shots, std::size_t threads = 1)
+{
+    api::DecodeJob job;
+    job.key = std::move(key);
+    job.dem = &m->dem;
+    job.prototype = m->prototype.get();
+    job.keepAlive = m;
+    job.shots = shots;
+    job.seed = seed;
+    job.ler.shardShots = shard_shots;
+    job.ler.threads = threads;
+    return job;
+}
+
+/** The contract's right-hand side: a fresh clone, serial measureDemLer. */
+decoder::LerResult
+serialRef(const Model &m, std::size_t shots, uint64_t seed,
+          std::size_t shard_shots, std::size_t max_failures = 0)
+{
+    auto dec = m.prototype->clone();
+    decoder::LerOptions opts;
+    opts.threads = 1;
+    opts.shardShots = shard_shots;
+    opts.maxFailures = max_failures;
+    return decoder::measureDemLer(m.dem, *dec, shots, seed, opts);
+}
+
+/** Every field of LerResult except the wall-clock osdUs. */
+void
+expectSameResult(const decoder::LerResult &got, const decoder::LerResult &want)
+{
+    EXPECT_EQ(got.shots, want.shots);
+    EXPECT_EQ(got.failures, want.failures);
+    EXPECT_EQ(got.earlyStopped, want.earlyStopped);
+    EXPECT_EQ(got.packed.packedShots, want.packed.packedShots);
+    EXPECT_EQ(got.packed.adapterShots, want.packed.adapterShots);
+    EXPECT_EQ(got.packed.laneSlotsBusy, want.packed.laneSlotsBusy);
+    EXPECT_EQ(got.packed.laneSlotsTotal, want.packed.laneSlotsTotal);
+    EXPECT_EQ(got.packed.osdShots, want.packed.osdShots);
+}
+
+/**
+ * A decoder whose decodePacked blocks until @p need shards (across all
+ * clones sharing the gate) have entered decoding. Holding the first
+ * request's only shard in flight until the second request's shard
+ * arrives makes the coalescing window deterministic: the second
+ * admission is guaranteed to happen while the first is still active.
+ */
+struct GateState
+{
+    std::atomic<int> entered{0};
+    int need = 2;
+};
+
+class GateDecoder : public decoder::Decoder
+{
+  public:
+    explicit GateDecoder(GateState *gate) : gate_(gate) {}
+
+    uint64_t
+    decode(const std::vector<uint32_t> &) override
+    {
+        return 0;
+    }
+
+    void
+    decodePacked(const sim::FrameView &frames, uint64_t *obs_out,
+                 decoder::PackedDecodeStats *stats) override
+    {
+        gate_->entered.fetch_add(1, std::memory_order_acq_rel);
+        while (gate_->entered.load(std::memory_order_acquire) < gate_->need) {
+            std::this_thread::yield();
+        }
+        for (std::size_t s = 0; s < frames.shots; ++s) {
+            obs_out[s] = 0;
+        }
+        if (stats != nullptr) {
+            stats->packedShots += frames.shots;
+        }
+    }
+
+    std::unique_ptr<decoder::Decoder>
+    clone() const override
+    {
+        return std::make_unique<GateDecoder>(gate_);
+    }
+
+  private:
+    GateState *gate_;
+};
+
+/**
+ * Wraps a real decoder and raises @p flag after @p limit decodePacked
+ * calls across all clones — a deterministic mid-queue cancellation.
+ */
+class CancelAfterDecoder : public decoder::Decoder
+{
+  public:
+    CancelAfterDecoder(const decoder::Decoder &inner,
+                       std::atomic<bool> *flag,
+                       std::shared_ptr<std::atomic<int>> calls, int limit)
+        : inner_(inner.clone()), flag_(flag), calls_(std::move(calls)),
+          limit_(limit)
+    {
+    }
+
+    uint64_t
+    decode(const std::vector<uint32_t> &flipped) override
+    {
+        return inner_->decode(flipped);
+    }
+
+    void
+    decodePacked(const sim::FrameView &frames, uint64_t *obs_out,
+                 decoder::PackedDecodeStats *stats) override
+    {
+        inner_->decodePacked(frames, obs_out, stats);
+        if (calls_->fetch_add(1, std::memory_order_acq_rel) + 1 == limit_) {
+            flag_->store(true, std::memory_order_release);
+        }
+    }
+
+    std::unique_ptr<decoder::Decoder>
+    clone() const override
+    {
+        return std::make_unique<CancelAfterDecoder>(*inner_, flag_, calls_,
+                                                    limit_);
+    }
+
+  private:
+    std::unique_ptr<decoder::Decoder> inner_;
+    std::atomic<bool> *flag_;
+    std::shared_ptr<std::atomic<int>> calls_;
+    int limit_;
+};
+
+} // namespace
+
+// --- WorkerPool primitive ---------------------------------------------------
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnceWithinSlotBound)
+{
+    sim::WorkerPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    std::atomic<std::size_t> badSlot{0};
+    pool.run(n, 4, [&](std::size_t i, std::size_t slot) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+        if (slot >= 4) {
+            badSlot.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+    EXPECT_EQ(badSlot.load(), 0u);
+}
+
+TEST(WorkerPool, NestedRunsAlwaysProgress)
+{
+    // Every run's caller can drain it alone, so runs nested inside pool
+    // workers never deadlock even when all workers are busy.
+    sim::WorkerPool pool(2);
+    std::atomic<std::size_t> inner{0};
+    pool.run(4, 3, [&](std::size_t, std::size_t) {
+        pool.run(8, 2, [&](std::size_t, std::size_t) {
+            inner.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(inner.load(), 32u);
+}
+
+TEST(WorkerPool, ZeroThreadPoolDegradesToSerialLoop)
+{
+    sim::WorkerPool pool(0);
+    std::vector<std::size_t> order;
+    pool.run(5, 4, [&](std::size_t i, std::size_t slot) {
+        EXPECT_EQ(slot, 0u);
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(WorkerPool, ExceptionsPropagateToCaller)
+{
+    sim::WorkerPool pool(2);
+    std::atomic<std::size_t> done{0};
+    EXPECT_THROW(pool.run(100, 3,
+                          [&](std::size_t i, std::size_t) {
+                              if (i == 5) {
+                                  throw std::runtime_error("boom");
+                              }
+                              done.fetch_add(1, std::memory_order_relaxed);
+                          }),
+                 std::runtime_error);
+    EXPECT_LT(done.load(), 100u);
+}
+
+TEST(WorkerPool, PresetStopFlagClaimsNothing)
+{
+    sim::WorkerPool pool(2);
+    std::atomic<bool> stop{true};
+    std::atomic<std::size_t> ran{0};
+    pool.run(64, 3,
+             [&](std::size_t, std::size_t) {
+                 ran.fetch_add(1, std::memory_order_relaxed);
+             },
+             &stop);
+    EXPECT_EQ(ran.load(), 0u);
+}
+
+// --- serial equivalence -----------------------------------------------------
+
+TEST(DecodeService, MatchesSerialReferenceAcrossThreadCounts)
+{
+    auto m = makeModel();
+    decoder::LerResult ref = serialRef(*m, 4096, 99, 256);
+    api::DecodeServiceOptions opts;
+    opts.threads = 2; // dedicated pool: real workers even on 1-CPU boxes
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        api::DecodeService service(opts);
+        api::DecodeOutcome out =
+            service.measure(jobFor(m, "d3", 4096, 99, 256, threads));
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expectSameResult(out.result, ref);
+        EXPECT_EQ(out.reusedShots, 0u);
+        EXPECT_FALSE(out.coalesced);
+    }
+}
+
+TEST(DecodeService, BpOsdLaneDecoderMatchesSerialReference)
+{
+    auto m = makeModel("bp_osd", 2e-3);
+    decoder::LerResult ref = serialRef(*m, 1536, 5, 256);
+    api::DecodeServiceOptions opts;
+    opts.threads = 2;
+    api::DecodeService service(opts);
+    for (std::size_t threads : {1u, 3u}) {
+        api::DecodeOutcome out =
+            service.measure(jobFor(m, "bp", 1536, 5, 256, threads));
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expectSameResult(out.result, ref);
+    }
+}
+
+TEST(DecodeService, MaxFailuresEarlyStopMatchesSerial)
+{
+    auto m = makeModel("union_find", 1e-2);
+    decoder::LerResult ref = serialRef(*m, 4096, 13, 128, 5);
+    api::DecodeService service;
+    for (std::size_t threads : {1u, 4u}) {
+        api::DecodeJob job = jobFor(m, "hot", 4096, 13, 128, threads);
+        job.ler.maxFailures = 5;
+        api::DecodeOutcome out = service.measure(job);
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expectSameResult(out.result, ref);
+    }
+    EXPECT_TRUE(ref.earlyStopped)
+        << "test needs a regime where early stopping actually triggers";
+}
+
+// --- concurrent submission --------------------------------------------------
+
+TEST(DecodeService, ConcurrentIdenticalRequestsAllBitIdentical)
+{
+    auto m = makeModel();
+    decoder::LerResult ref = serialRef(*m, 4096, 21, 256);
+    api::DecodeServiceOptions opts;
+    opts.threads = 2;
+    api::DecodeService service(opts);
+
+    const std::size_t clients = 8;
+    std::vector<api::DecodeOutcome> outcomes(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            // Deterministic pseudo-jitter: scatter the arrival order.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((c * 97) % 500));
+            api::DecodeJob job = jobFor(m, "same", 4096, 21, 256, 0);
+            outcomes[c] = service.measure(job);
+        });
+    }
+    for (std::thread &t : threads) {
+        t.join();
+    }
+    for (std::size_t c = 0; c < clients; ++c) {
+        SCOPED_TRACE("client=" + std::to_string(c));
+        expectSameResult(outcomes[c].result, ref);
+    }
+    EXPECT_EQ(service.stats().requests, clients);
+}
+
+TEST(DecodeService, ConcurrentDistinctRequestsAllBitIdentical)
+{
+    auto a = makeModel("union_find", 3e-3);
+    auto b = makeModel("union_find", 5e-3);
+    api::DecodeServiceOptions opts;
+    opts.threads = 2;
+    api::DecodeService service(opts);
+
+    const std::size_t clients = 8;
+    std::vector<api::DecodeOutcome> outcomes(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((c * 131) % 400));
+            const auto &model = (c % 2 == 0) ? a : b;
+            const char *key = (c % 2 == 0) ? "A" : "B";
+            api::DecodeJob job =
+                jobFor(model, key, 2048, 11 + c, 256, 0);
+            outcomes[c] = service.measure(job);
+        });
+    }
+    for (std::thread &t : threads) {
+        t.join();
+    }
+    for (std::size_t c = 0; c < clients; ++c) {
+        const auto &model = (c % 2 == 0) ? a : b;
+        decoder::LerResult ref = serialRef(*model, 2048, 11 + c, 256);
+        SCOPED_TRACE("client=" + std::to_string(c));
+        expectSameResult(outcomes[c].result, ref);
+    }
+    EXPECT_EQ(service.stats().requests, clients);
+}
+
+TEST(DecodeService, CoalescingDetectedDeterministically)
+{
+    // The gate holds request A's single shard in flight until request
+    // B's shard starts decoding — B must therefore have been admitted
+    // while A was active (or vice versa), so exactly one of the two is
+    // counted as coalesced, regardless of scheduling.
+    auto m = makeModel();
+    GateState gate;
+    GateDecoder prototype(&gate);
+    api::DecodeService service;
+
+    auto gatedJob = [&] {
+        api::DecodeJob job = jobFor(m, "gated", 256, 3, 256, 1);
+        job.prototype = &prototype;
+        job.record = false;
+        return job;
+    };
+    api::DecodeOutcome oa;
+    api::DecodeOutcome ob;
+    std::thread ta([&] { oa = service.measure(gatedJob()); });
+    std::thread tb([&] { ob = service.measure(gatedJob()); });
+    ta.join();
+    tb.join();
+
+    EXPECT_EQ(gate.entered.load(), 2);
+    EXPECT_EQ(oa.result.shots, 256u);
+    EXPECT_EQ(ob.result.shots, 256u);
+    EXPECT_EQ((oa.coalesced ? 1 : 0) + (ob.coalesced ? 1 : 0), 1);
+    EXPECT_EQ(service.stats().coalescedRequests, 1u);
+}
+
+TEST(DecodeService, CoalesceOffNeverCoalescesAndKeepsNoLaneGroups)
+{
+    auto m = makeModel();
+    GateState gate;
+    GateDecoder prototype(&gate);
+    api::DecodeServiceOptions opts;
+    opts.coalesce = false;
+    api::DecodeService service(opts);
+
+    auto gatedJob = [&] {
+        api::DecodeJob job = jobFor(m, "gated", 256, 3, 256, 1);
+        job.prototype = &prototype;
+        job.record = false;
+        return job;
+    };
+    api::DecodeOutcome oa;
+    api::DecodeOutcome ob;
+    std::thread ta([&] { oa = service.measure(gatedJob()); });
+    std::thread tb([&] { ob = service.measure(gatedJob()); });
+    ta.join();
+    tb.join();
+
+    EXPECT_EQ(oa.result.shots, 256u);
+    EXPECT_EQ(ob.result.shots, 256u);
+    EXPECT_FALSE(oa.coalesced);
+    EXPECT_FALSE(ob.coalesced);
+    api::DecodeServiceStats stats = service.stats();
+    EXPECT_EQ(stats.coalescedRequests, 0u);
+    EXPECT_EQ(stats.laneGroups, 0u)
+        << "coalescing off must not retain shared clone groups";
+}
+
+// --- cross-request shot reuse -----------------------------------------------
+
+TEST(DecodeService, TallyReuseSatisfiesIdenticalRerunWithoutDecoding)
+{
+    auto m = makeModel();
+    api::DecodeService service;
+    api::DecodeJob job = jobFor(m, "d3", 2048, 7, 256);
+
+    api::DecodeOutcome first = service.measure(job);
+    EXPECT_EQ(first.reusedShots, 0u);
+    api::DecodeServiceStats after1 = service.stats();
+    EXPECT_EQ(after1.decodedShards, 8u);
+    EXPECT_EQ(after1.tallyKeys, 1u);
+
+    api::DecodeOutcome second = service.measure(job);
+    expectSameResult(second.result, first.result);
+    EXPECT_EQ(second.reusedShots, 2048u);
+    api::DecodeServiceStats after2 = service.stats();
+    EXPECT_EQ(after2.decodedShards, 8u)
+        << "a fully reused rerun must not decode any shard";
+    EXPECT_EQ(after2.reusedShots, 2048u);
+}
+
+TEST(DecodeService, TallyReuseExtendsToLargerBudget)
+{
+    auto m = makeModel();
+    api::DecodeService service;
+    service.measure(jobFor(m, "d3", 1024, 7, 256));
+    api::DecodeOutcome out = service.measure(jobFor(m, "d3", 2048, 7, 256));
+    expectSameResult(out.result, serialRef(*m, 2048, 7, 256));
+    EXPECT_EQ(out.reusedShots, 1024u)
+        << "the recorded 4-shard prefix satisfies half the larger budget";
+}
+
+TEST(DecodeService, PartialTrailingShardIsNeverReused)
+{
+    // A 640-shot run at 256-shot shards records shards of 256/256/128.
+    // A later 1024-shot run may reuse only the two full shards: the
+    // first 128 shots of a 256-shot shard sample are NOT the 128-shot
+    // sample of the same seed, so size-mismatched tallies must re-decode.
+    auto m = makeModel();
+    api::DecodeService service;
+    service.measure(jobFor(m, "d3", 640, 7, 256));
+    api::DecodeOutcome out = service.measure(jobFor(m, "d3", 1024, 7, 256));
+    expectSameResult(out.result, serialRef(*m, 1024, 7, 256));
+    EXPECT_EQ(out.reusedShots, 512u);
+}
+
+TEST(DecodeService, DifferentSeedsAndShardSizesDoNotShareTallies)
+{
+    auto m = makeModel();
+    api::DecodeService service;
+    service.measure(jobFor(m, "d3", 1024, 7, 256));
+    api::DecodeOutcome seed = service.measure(jobFor(m, "d3", 1024, 8, 256));
+    EXPECT_EQ(seed.reusedShots, 0u);
+    expectSameResult(seed.result, serialRef(*m, 1024, 8, 256));
+    api::DecodeOutcome width = service.measure(jobFor(m, "d3", 1024, 7, 128));
+    EXPECT_EQ(width.reusedShots, 0u);
+    expectSameResult(width.result, serialRef(*m, 1024, 7, 128));
+}
+
+TEST(DecodeService, ReuseOffDecodesEveryTime)
+{
+    auto m = makeModel();
+    api::DecodeServiceOptions opts;
+    opts.reuseShots = false;
+    api::DecodeService service(opts);
+    api::DecodeJob job = jobFor(m, "d3", 1024, 7, 256);
+    api::DecodeOutcome first = service.measure(job);
+    api::DecodeOutcome second = service.measure(job);
+    expectSameResult(second.result, first.result);
+    EXPECT_EQ(second.reusedShots, 0u);
+    api::DecodeServiceStats stats = service.stats();
+    EXPECT_EQ(stats.decodedShards, 8u);
+    EXPECT_EQ(stats.reusedShots, 0u);
+    EXPECT_EQ(stats.tallyKeys, 0u);
+}
+
+TEST(DecodeService, RecordOffLeavesNoTallies)
+{
+    auto m = makeModel();
+    api::DecodeService service;
+    api::DecodeJob job = jobFor(m, "d3", 1024, 7, 256);
+    job.record = false;
+    service.measure(job);
+    EXPECT_EQ(service.stats().tallyKeys, 0u);
+    job.record = true;
+    api::DecodeOutcome out = service.measure(job);
+    EXPECT_EQ(out.reusedShots, 0u)
+        << "an unrecorded run must not feed later reuse";
+}
+
+TEST(DecodeService, FifoTallyEvictionDropsOldestKey)
+{
+    auto m = makeModel();
+    api::DecodeServiceOptions tight;
+    tight.maxTallyKeys = 1;
+    api::DecodeService small(tight);
+    small.measure(jobFor(m, "A", 512, 7, 256));
+    small.measure(jobFor(m, "B", 512, 7, 256)); // evicts A's stream
+    EXPECT_EQ(small.stats().tallyKeys, 1u);
+    api::DecodeOutcome again = small.measure(jobFor(m, "A", 512, 7, 256));
+    EXPECT_EQ(again.reusedShots, 0u);
+
+    api::DecodeServiceOptions roomy;
+    roomy.maxTallyKeys = 2;
+    api::DecodeService big(roomy);
+    big.measure(jobFor(m, "A", 512, 7, 256));
+    big.measure(jobFor(m, "B", 512, 7, 256));
+    api::DecodeOutcome kept = big.measure(jobFor(m, "A", 512, 7, 256));
+    EXPECT_EQ(kept.reusedShots, 512u);
+}
+
+TEST(DecodeService, FifoLaneGroupEvictionBoundsWarmClones)
+{
+    auto m = makeModel();
+    api::DecodeServiceOptions opts;
+    opts.maxLaneGroups = 1;
+    opts.reuseShots = false;
+    api::DecodeService service(opts);
+    service.measure(jobFor(m, "A", 256, 7, 256));
+    service.measure(jobFor(m, "B", 256, 7, 256));
+    EXPECT_EQ(service.stats().laneGroups, 1u);
+}
+
+TEST(DecodeService, WarmClonesCheckedOutAcrossRequests)
+{
+    // Single-slot runs make the checkout ledger exact: the first shard
+    // of the first request clones the prototype, every later shard and
+    // every later request reuses that one warm clone.
+    auto m = makeModel();
+    api::DecodeServiceOptions opts;
+    opts.reuseShots = false; // force the second request to decode
+    api::DecodeService service(opts);
+    api::DecodeJob job = jobFor(m, "d3", 2048, 7, 256, 1);
+    service.measure(job);
+    api::DecodeServiceStats after1 = service.stats();
+    EXPECT_EQ(after1.cloneMisses, 1u);
+    EXPECT_EQ(after1.cloneHits, 7u);
+    service.measure(job);
+    api::DecodeServiceStats after2 = service.stats();
+    EXPECT_EQ(after2.cloneMisses, 1u)
+        << "the second request must find the first request's clone warm";
+    EXPECT_EQ(after2.cloneHits, 15u);
+}
+
+// --- edge cases: zero shots, cancellation -----------------------------------
+
+TEST(DecodeService, ZeroShotJobIsEmptyAndUntracked)
+{
+    auto m = makeModel();
+    api::DecodeService service;
+    api::DecodeOutcome out = service.measure(jobFor(m, "d3", 0, 7, 256));
+    EXPECT_EQ(out.result.shots, 0u);
+    EXPECT_EQ(out.result.failures, 0u);
+    EXPECT_FALSE(out.result.earlyStopped);
+    EXPECT_EQ(out.reusedShots, 0u);
+    EXPECT_FALSE(out.coalesced);
+    api::DecodeServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, 1u);
+    EXPECT_EQ(stats.decodedShards, 0u);
+    EXPECT_EQ(stats.tallyKeys, 0u);
+    EXPECT_EQ(stats.laneGroups, 0u);
+}
+
+TEST(DecodeService, CancelBeforeStartReturnsEmptyResult)
+{
+    auto m = makeModel();
+    api::DecodeService service;
+    std::atomic<bool> cancel{true};
+    api::DecodeJob job = jobFor(m, "d3", 1024, 7, 256);
+    job.cancel = &cancel;
+    api::DecodeOutcome out = service.measure(job);
+    EXPECT_EQ(out.result.shots, 0u);
+    EXPECT_EQ(out.result.failures, 0u);
+    EXPECT_EQ(service.stats().decodedShards, 0u);
+}
+
+TEST(DecodeService, CancelMidQueueTruncatesToValidShardPrefix)
+{
+    // The wrapper raises the cancel flag after the second shard decode;
+    // with one slot the run then stops deterministically after shards
+    // 0 and 1 — and the truncated result must equal a serial 512-shot
+    // run of the same stream (every prefix is a valid smaller run).
+    auto m = makeModel();
+    std::atomic<bool> cancel{false};
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    CancelAfterDecoder prototype(*m->prototype, &cancel, calls, 2);
+    api::DecodeService service;
+    api::DecodeJob job = jobFor(m, "d3", 2048, 7, 256, 1);
+    job.prototype = &prototype;
+    job.cancel = &cancel;
+    api::DecodeOutcome out = service.measure(job);
+    EXPECT_EQ(out.result.shots, 512u);
+    expectSameResult(out.result, serialRef(*m, 512, 7, 256));
+    EXPECT_EQ(service.stats().decodedShards, 2u);
+}

@@ -121,23 +121,6 @@ TEST(Registry, SpecDescribeDistinguishesOptions)
               decoder::DecoderSpec("bp_osd", a).describe());
 }
 
-// The alias is [[deprecated]] (removal scheduled for PR 6); the test
-// keeps asserting its mapping until then, with the warning silenced.
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(Registry, LegacyKindMapsToRegistryNames)
-{
-    EXPECT_STREQ(decoder::decoderName(decoder::DecoderKind::UnionFind),
-                 "union_find");
-    EXPECT_STREQ(decoder::decoderName(decoder::DecoderKind::BpOsd),
-                 "bp_osd");
-}
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-
 // --- schedule hashing -------------------------------------------------------
 
 TEST(ScheduleHash, EqualSchedulesHashEqual)
@@ -209,6 +192,10 @@ TEST(Engine, ZeroShotRequestReturnsEmptyWellFormedResult)
     EXPECT_EQ(r.telemetry.cacheMisses, 0u);
     EXPECT_EQ(r.telemetry.packed.packedShots, 0u);
     EXPECT_EQ(r.telemetry.packed.adapterShots, 0u);
+    EXPECT_EQ(r.telemetry.reusedShots, 0u);
+    EXPECT_EQ(r.telemetry.coalescedRequests, 0u);
+    EXPECT_EQ(r.telemetry.workSteals, 0u);
+    EXPECT_EQ(r.telemetry.queueDepth, 0u);
     api::Engine::CacheStats stats = engine.cacheStats();
     EXPECT_EQ(stats.circuitEntries, 0u);
     EXPECT_EQ(stats.demEntries, 0u);
@@ -309,6 +296,76 @@ TEST(Engine, CacheDisabledNeverHits)
     api::LerResult second = engine.run(d3Request(1));
     EXPECT_EQ(second.telemetry.cacheHits, 0u);
     EXPECT_GT(second.telemetry.cacheMisses, 0u);
+}
+
+TEST(Engine, CrossRequestShotReuseIsExactAndMonotone)
+{
+    // An identical re-run must be satisfied from the decode service's
+    // recorded shard tallies: bit-identical counts, every shot reused,
+    // and the service-lifetime reuse counter grows monotonically.
+    api::Engine engine;
+    api::LerResult first = engine.run(d3Request(1));
+    EXPECT_EQ(first.telemetry.reusedShots, 0u);
+    EXPECT_EQ(engine.serviceStats().reusedShots, 0u);
+
+    api::LerResult second = engine.run(d3Request(1));
+    EXPECT_EQ(second.memory.z.failures, first.memory.z.failures);
+    EXPECT_EQ(second.memory.x.failures, first.memory.x.failures);
+    EXPECT_EQ(second.memory.z.shots, first.memory.z.shots);
+    EXPECT_EQ(second.memory.x.shots, first.memory.x.shots);
+    EXPECT_EQ(second.telemetry.shots, 8000u);
+    EXPECT_EQ(second.telemetry.reusedShots, 8000u)
+        << "both bases of an identical request must reuse recorded shots";
+    EXPECT_EQ(engine.serviceStats().reusedShots, 8000u);
+
+    api::LerResult third = engine.run(d3Request(1));
+    EXPECT_EQ(third.telemetry.reusedShots, 8000u);
+    EXPECT_EQ(engine.serviceStats().reusedShots, 16000u);
+
+    // A different seed is a different sample stream: no reuse, and the
+    // lifetime counter must not move.
+    api::LerRequest fresh = d3Request(1);
+    fresh.seed = 78;
+    api::LerResult other = engine.run(fresh);
+    EXPECT_EQ(other.telemetry.reusedShots, 0u);
+    EXPECT_EQ(engine.serviceStats().reusedShots, 16000u);
+}
+
+TEST(Engine, ShotReuseEvictionUnderFifoTallyBound)
+{
+    // Each basis records its own tally stream, so a bound of 1 makes
+    // the X run evict the Z tallies and vice versa: a re-run reuses
+    // nothing. A bound of 2 holds both streams and reuses everything.
+    api::EngineOptions tight;
+    tight.service.maxTallyKeys = 1;
+    api::Engine small(tight);
+    api::LerResult ref = small.run(d3Request(1));
+    api::LerResult rerun = small.run(d3Request(1));
+    EXPECT_EQ(rerun.telemetry.reusedShots, 0u);
+    EXPECT_EQ(rerun.memory.z.failures, ref.memory.z.failures);
+    EXPECT_EQ(rerun.memory.x.failures, ref.memory.x.failures);
+
+    api::EngineOptions roomy;
+    roomy.service.maxTallyKeys = 2;
+    api::Engine big(roomy);
+    big.run(d3Request(1));
+    api::LerResult kept = big.run(d3Request(1));
+    EXPECT_EQ(kept.telemetry.reusedShots, 8000u);
+    EXPECT_EQ(kept.memory.z.failures, ref.memory.z.failures);
+    EXPECT_EQ(kept.memory.x.failures, ref.memory.x.failures);
+}
+
+TEST(Engine, ShotReuseDisabledThroughServiceOptions)
+{
+    api::EngineOptions opts;
+    opts.service.reuseShots = false;
+    api::Engine engine(opts);
+    api::LerResult first = engine.run(d3Request(1));
+    api::LerResult second = engine.run(d3Request(1));
+    EXPECT_EQ(second.telemetry.reusedShots, 0u);
+    EXPECT_EQ(second.memory.z.failures, first.memory.z.failures);
+    EXPECT_EQ(second.memory.x.failures, first.memory.x.failures);
+    EXPECT_EQ(engine.serviceStats().reusedShots, 0u);
 }
 
 TEST(Engine, FlaggedCircuitsCachedSeparately)
