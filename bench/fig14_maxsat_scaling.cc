@@ -6,6 +6,12 @@
  * bucketed by the weight of the found logical error, which tracks the
  * growing effective distance during optimization) and reports model size
  * and solve-time distributions per d_eff.
+ *
+ * The default run is CI-safe: d=3 and d=5 surface codes at reduced
+ * budgets. PROPHUNT_FULL restores the paper-scale sweep (d=7 and the
+ * rqt60 LDPC code, 25 iterations x 500 samples, 16 ambiguous subgraphs
+ * per iteration); PROPHUNT_ITERS / PROPHUNT_SAMPLES still override
+ * either mode.
  */
 #include <benchmark/benchmark.h>
 
@@ -28,8 +34,14 @@ void
 runCode(const code::CssCode &code, std::size_t distance,
         const circuit::SmSchedule &start, const char *label)
 {
+    bool full = phbench::envFlag("PROPHUNT_FULL");
     core::PropHuntOptions opts = phbench::defaultOptions(17);
-    opts.maxAmbiguousPerIteration = 16;
+    if (full) {
+        // Paper-scale budgets unless the env overrides them explicitly.
+        opts.iterations = phbench::envSize("PROPHUNT_ITERS", 25);
+        opts.samplesPerIteration = phbench::envSize("PROPHUNT_SAMPLES", 500);
+    }
+    opts.maxAmbiguousPerIteration = full ? 16 : 8;
     core::PropHunt tool(opts);
     core::OptimizeResult res = tool.optimize(start, distance);
 
@@ -91,16 +103,20 @@ main(int argc, char **argv)
         runCode(s.code(), 5, circuit::poorSurfaceSchedule(s),
                 "poor start");
     }
-    {
-        code::SurfaceCode s(7);
-        runCode(s.code(), 7, circuit::poorSurfaceSchedule(s),
-                "poor start");
-    }
-    {
-        auto c = code::benchmarkRqt60();
-        auto cp = std::make_shared<const code::CssCode>(c);
-        runCode(c, 6, circuit::colorationSchedule(cp),
-                "coloration start");
+    if (phbench::envFlag("PROPHUNT_FULL")) {
+        {
+            code::SurfaceCode s(7);
+            runCode(s.code(), 7, circuit::poorSurfaceSchedule(s),
+                    "poor start");
+        }
+        {
+            auto c = code::benchmarkRqt60();
+            auto cp = std::make_shared<const code::CssCode>(c);
+            runCode(c, 6, circuit::colorationSchedule(cp),
+                    "coloration start");
+        }
+    } else {
+        std::printf("\n(reduced run: d=7 and rqt60 need PROPHUNT_FULL)\n");
     }
     std::printf("\n");
     benchmark::Initialize(&argc, argv);

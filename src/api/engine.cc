@@ -360,8 +360,19 @@ Engine::run(const OptimizeRequest &req)
 {
     OptimizeResult out;
     uint64_t t0 = now_us();
-    core::PropHunt tool(req.options);
-    out.outcome = tool.optimize(req.start, req.rounds);
+    core::PropHuntOptions opts = req.options;
+    if (req.cancel != nullptr) {
+        opts.cancel = req.cancel;
+    }
+    if (req.portfolio.enabled) {
+        out.outcome =
+            search::runPortfolio(req.start, req.rounds, opts,
+                                 req.portfolio);
+    } else {
+        core::PropHunt tool(opts);
+        out.outcome = tool.optimize(req.start, req.rounds);
+    }
+    out.telemetry.search = out.outcome.searchReports;
     // The optimizer samples/decodes internally; its whole wall time is
     // reported as decode time.
     out.telemetry.decodeUs += now_us() - t0;

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <optional>
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "sim/dem_builder.h"
@@ -26,39 +26,48 @@ workerCount(const PropHuntOptions &opts)
     return sim::resolveThreads(requested);
 }
 
-/** Ambiguous subgraphs sampled from one DEM, deduplicated. */
+/**
+ * Ambiguous subgraphs sampled from one DEM, deduplicated.
+ *
+ * Deterministic for every thread count: each sample index owns an
+ * independent RNG stream, blocks of kSampleBlock indices are sampled in
+ * parallel, and results merge (dedup + max_keep cutoff) serially in
+ * index order. Early exit happens at block granularity, so the kept set
+ * is a pure function of (seed, samples, max_keep).
+ */
 std::vector<Subgraph>
 sampleAmbiguous(const sim::Dem &dem, std::size_t samples,
                 std::size_t max_errors, std::size_t max_keep,
                 std::size_t threads, uint64_t seed)
 {
+    constexpr std::size_t kSampleBlock = 32;
     SubgraphFinder finder(dem);
-    std::mutex mu;
     std::vector<Subgraph> found;
     std::set<std::vector<uint32_t>> seen;
-    std::atomic<bool> full{false};
+    std::vector<std::optional<Subgraph>> block(kSampleBlock);
 
-    std::size_t workers = std::max<std::size_t>(1, std::min(threads, samples));
-    std::size_t per_worker = (samples + workers - 1) / workers;
-    parallelFor(workers, workers, [&](std::size_t t) {
-        sim::Rng rng(seed ^ (0x517cc1b727220a95ULL * (t + 1)));
-        for (std::size_t i = 0; i < per_worker && !full.load(); ++i) {
+    for (std::size_t base = 0;
+         base < samples && found.size() < max_keep; base += kSampleBlock) {
+        std::size_t count = std::min(kSampleBlock, samples - base);
+        parallelFor(count, threads, [&](std::size_t i) {
+            sim::Rng rng(seed ^
+                         ((base + i + 1) * 0x517cc1b727220a95ULL));
             Subgraph sg = finder.sample(rng, max_errors);
-            if (!sg.ambiguous) {
+            block[i] = sg.ambiguous ? std::optional<Subgraph>(std::move(sg))
+                                    : std::nullopt;
+        });
+        for (std::size_t i = 0; i < count && found.size() < max_keep;
+             ++i) {
+            if (!block[i]) {
                 continue;
             }
-            std::vector<uint32_t> key = sg.detectors;
+            std::vector<uint32_t> key = block[i]->detectors;
             std::sort(key.begin(), key.end());
-            std::lock_guard<std::mutex> lock(mu);
-            if (found.size() >= max_keep) {
-                full.store(true);
-                return;
-            }
             if (seen.insert(std::move(key)).second) {
-                found.push_back(std::move(sg));
+                found.push_back(std::move(*block[i]));
             }
         }
-    });
+    }
     return found;
 }
 
@@ -75,8 +84,26 @@ PropHunt::optimize(const circuit::SmSchedule &start,
     sim::NoiseModel noise = sim::NoiseModel::uniform(opts_.p);
     sim::Rng rng(opts_.seed);
     std::size_t stalled = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    auto interrupted = [&]() {
+        if (opts_.cancel != nullptr &&
+            opts_.cancel->load(std::memory_order_relaxed)) {
+            return true;
+        }
+        if (opts_.wallSecondsBudget > 0.0) {
+            std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
+            if (dt.count() >= opts_.wallSecondsBudget) {
+                return true;
+            }
+        }
+        return false;
+    };
 
     for (std::size_t iter = 0; iter < opts_.iterations; ++iter) {
+        if (interrupted()) {
+            break; // anytime: the snapshots so far are a valid prefix
+        }
         IterationRecord rec;
         rec.iteration = iter;
 
@@ -156,7 +183,10 @@ PropHunt::optimize(const circuit::SmSchedule &start,
                 tasks.push_back({&plan, &ch});
             }
         }
-        std::mutex verify_mu;
+        // Results land in per-task slots and are collected in task order,
+        // so the verified lists are identical for every thread count.
+        std::vector<std::optional<VerifiedChange>> taskResults(
+            tasks.size());
         parallelFor(tasks.size(), threads, [&](std::size_t i) {
             std::optional<VerifiedChange> vc;
             if (opts_.verifyAmbiguityRemoval) {
@@ -176,11 +206,14 @@ PropHunt::optimize(const circuit::SmSchedule &start,
                     }
                 }
             }
-            if (vc) {
-                std::lock_guard<std::mutex> lock(verify_mu);
-                tasks[i].plan->verified.push_back(std::move(*vc));
-            }
+            taskResults[i] = std::move(vc);
         });
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            if (taskResults[i]) {
+                tasks[i].plan->verified.push_back(
+                    std::move(*taskResults[i]));
+            }
+        }
 
         // Apply: one change per subgraph, minimum depth first.
         std::set<std::string> applied_keys;
@@ -190,7 +223,8 @@ PropHunt::optimize(const circuit::SmSchedule &start,
             }
             rec.changesVerified += plan.verified.size();
             if (opts_.preferMinDepth) {
-                std::sort(plan.verified.begin(), plan.verified.end(),
+                // stable: depth ties keep deterministic task order.
+                std::stable_sort(plan.verified.begin(), plan.verified.end(),
                           [](const VerifiedChange &a,
                              const VerifiedChange &b) {
                               return a.depth < b.depth;

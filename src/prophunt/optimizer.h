@@ -14,6 +14,7 @@
 #ifndef PROPHUNT_PROPHUNT_OPTIMIZER_H
 #define PROPHUNT_PROPHUNT_OPTIMIZER_H
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "prophunt/minweight.h"
 #include "prophunt/pruning.h"
 #include "prophunt/subgraph.h"
+#include "search/stats.h"
 #include "sim/noise_model.h"
 
 namespace prophunt::core {
@@ -74,6 +76,20 @@ struct PropHuntOptions
      * remaining ambiguity is at the code distance and irreducible.
      */
     std::size_t maxDepth = 0;
+    /**
+     * Optional caller-owned cancellation flag (parity with
+     * api::LerRequest::cancel). Checked between iterations: once set,
+     * optimize() returns the best schedule reached so far — a valid
+     * prefix of the full run.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+    /**
+     * Optional wall-clock budget in seconds across all iterations
+     * (0 = unlimited). Checked between iterations, so the loop is
+     * anytime; like any wall-clock budget it trades bit-reproducibility
+     * for latency control.
+     */
+    double wallSecondsBudget = 0.0;
 };
 
 /** Telemetry for one optimization iteration. */
@@ -98,8 +114,14 @@ struct IterationRecord
 struct OptimizeResult
 {
     std::vector<IterationRecord> history;
-    /** Schedule after each iteration (snapshots[0] = input). */
+    /** Schedule after each iteration (snapshots[0] = input). Portfolio
+     * runs append the winning schedule, so finalSchedule() is always
+     * the returned optimum. */
     std::vector<circuit::SmSchedule> snapshots;
+    /** Per-strategy search telemetry when the schedule-search portfolio
+     * served the request (search::runPortfolio); empty for classic
+     * MaxSAT-only runs. */
+    std::vector<search::StrategyReport> searchReports;
 
     const circuit::SmSchedule &finalSchedule() const
     {

@@ -1,0 +1,192 @@
+#include "search/beam.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "sim/rng.h"
+
+namespace prophunt::search {
+
+namespace {
+
+/** One schedule move: a reorder or a relative swap. */
+struct Move
+{
+    enum class Kind { Reorder, RelativeSwap };
+    Kind kind = Kind::Reorder;
+    std::size_t a = 0; // check (reorder) / qubit (swap)
+    std::size_t b = 0; // from_pos / check_a
+    std::size_t c = 0; // before_pos / check_b
+};
+
+/** All single moves of a schedule, in a fixed deterministic order. */
+std::vector<Move>
+enumerateMoves(const circuit::SmSchedule &sched)
+{
+    std::vector<Move> moves;
+    const code::CssCode &code = sched.code();
+    for (std::size_t check = 0; check < code.numChecks(); ++check) {
+        std::size_t w = sched.checkOrder(check).size();
+        for (std::size_t from = 0; from < w; ++from) {
+            for (std::size_t before = 0; before <= w; ++before) {
+                if (before == from || before == from + 1) {
+                    continue; // no-op positions
+                }
+                moves.push_back(
+                    {Move::Kind::Reorder, check, from, before});
+            }
+        }
+    }
+    for (std::size_t q = 0; q < code.n(); ++q) {
+        const auto &order = sched.qubitOrder(q);
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            for (std::size_t j = i + 1; j < order.size(); ++j) {
+                moves.push_back(
+                    {Move::Kind::RelativeSwap, q, order[i], order[j]});
+            }
+        }
+    }
+    return moves;
+}
+
+circuit::SmSchedule
+applyMove(const circuit::SmSchedule &sched, const Move &move)
+{
+    if (move.kind == Move::Kind::Reorder) {
+        return sched.withReorder(move.a, move.b, move.c);
+    }
+    return sched.withRelativeSwap(move.a, move.b, move.c);
+}
+
+/** Deterministic subsample of k move indices, returned ascending so the
+ * enumeration order survives. Partial Fisher-Yates over an index array
+ * seeded from (seed, iteration, state). */
+std::vector<std::size_t>
+sampleIndices(std::size_t total, std::size_t k, uint64_t seed)
+{
+    std::vector<std::size_t> idx(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        idx[i] = i;
+    }
+    sim::Rng rng(seed);
+    for (std::size_t i = 0; i < k; ++i) {
+        std::size_t j = i + (std::size_t)(rng.next() % (total - i));
+        std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    std::sort(idx.begin(), idx.end());
+    return idx;
+}
+
+} // namespace
+
+SearchOutcome
+runBeamSearch(const SearchContext &ctx, const BeamOptions &options)
+{
+    using Clock = std::chrono::steady_clock;
+    auto t0 = Clock::now();
+    auto elapsed_us = [&t0]() {
+        return (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+                   Clock::now() - t0)
+            .count();
+    };
+
+    SearchOutcome out(ctx.start);
+    uint64_t best_obj = ctx.objective.evaluate(ctx.start);
+
+    struct State
+    {
+        circuit::SmSchedule sched;
+        uint64_t obj;
+        uint64_t key;
+    };
+    std::vector<State> beam;
+    beam.push_back({ctx.start, best_obj, scheduleKey(ctx.start)});
+    std::unordered_set<uint64_t> visited;
+    visited.insert(beam[0].key);
+
+    std::size_t width = std::max<std::size_t>(1, options.width);
+    std::size_t stale = 0;
+    bool stop = false;
+    for (std::size_t iter = 0;
+         !stop && (options.maxIterations == 0 ||
+                   iter < options.maxIterations);
+         ++iter) {
+        std::vector<State> candidates;
+        uint64_t round_best = best_obj;
+        for (std::size_t si = 0; si < beam.size() && !stop; ++si) {
+            std::vector<Move> moves = enumerateMoves(beam[si].sched);
+            std::vector<std::size_t> picks;
+            if (options.maxNeighborsPerState != 0 &&
+                moves.size() > options.maxNeighborsPerState) {
+                picks = sampleIndices(
+                    moves.size(), options.maxNeighborsPerState,
+                    ctx.seed ^ (iter * 0x9e3779b97f4a7c15ULL) ^
+                        (si * 0xbf58476d1ce4e5b9ULL));
+            } else {
+                picks.resize(moves.size());
+                for (std::size_t i = 0; i < moves.size(); ++i) {
+                    picks[i] = i;
+                }
+            }
+            for (std::size_t pick : picks) {
+                if (ctx.cancelled() ||
+                    (ctx.budget.maxExpansions != 0 &&
+                     out.stats.expansions >= ctx.budget.maxExpansions) ||
+                    (ctx.budget.wallSeconds > 0.0 &&
+                     (double)elapsed_us() >=
+                         ctx.budget.wallSeconds * 1e6)) {
+                    stop = true;
+                    break;
+                }
+                circuit::SmSchedule cand =
+                    applyMove(beam[si].sched, moves[pick]);
+                ++out.stats.expansions;
+                uint64_t obj = ctx.objective.evaluate(cand);
+                if (obj == kInvalidObjective) {
+                    ++out.stats.deadEnds;
+                    continue;
+                }
+                uint64_t key = scheduleKey(cand);
+                if (!visited.insert(key).second) {
+                    continue; // already seen this schedule
+                }
+                if (obj < best_obj) {
+                    best_obj = obj;
+                    out.schedule = cand;
+                    if (out.stats.firstImprovementExpansions == 0) {
+                        out.stats.firstImprovementExpansions =
+                            out.stats.expansions;
+                        out.stats.timeToFirstImprovementUs = elapsed_us();
+                    }
+                }
+                candidates.push_back({std::move(cand), obj, key});
+            }
+        }
+        if (candidates.empty()) {
+            break; // neighborhood exhausted
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const State &a, const State &b) {
+                      return a.obj != b.obj ? a.obj < b.obj
+                                            : a.key < b.key;
+                  });
+        if (candidates.size() > width) {
+            candidates.erase(candidates.begin() + (long)width,
+                             candidates.end());
+        }
+        beam = std::move(candidates);
+        if (best_obj < round_best) {
+            stale = 0;
+        } else if (++stale >= options.patience) {
+            break;
+        }
+    }
+
+    out.stats.bestObjective = best_obj;
+    out.stats.totalUs = elapsed_us();
+    return out;
+}
+
+} // namespace prophunt::search

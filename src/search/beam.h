@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Anytime beam search over schedule space.
+ *
+ * States are whole schedules; moves are the optimizer's two change
+ * families (reorder within a check, relative-order swap on a data qubit).
+ * Each iteration expands every beam state's neighborhood, scores the
+ * candidates with the propagation-weight objective, and keeps the best
+ * `width` distinct schedules. Ties break deterministically on
+ * (objective, scheduleKey, generation order), so runs are bit-identical
+ * under an expansion-count budget.
+ */
+#ifndef PROPHUNT_SEARCH_BEAM_H
+#define PROPHUNT_SEARCH_BEAM_H
+
+#include "search/strategy.h"
+
+namespace prophunt::search {
+
+struct BeamOptions
+{
+    /** Beam width (surviving states per iteration). */
+    std::size_t width = 8;
+    /**
+     * Per-state neighborhood cap. When a state has more valid moves than
+     * this, a deterministic seed-driven subsample is expanded instead —
+     * the knob that keeps wide codes inside the expansion budget.
+     * 0 = expand every move.
+     */
+    std::size_t maxNeighborsPerState = 0;
+    /** Stop after this many consecutive iterations without a strict
+     * improvement of the best objective. */
+    std::size_t patience = 4;
+    /** Hard iteration cap (0 = run until budget/patience). */
+    std::size_t maxIterations = 0;
+};
+
+/** Run beam search. Anytime: returns best-so-far on budget expiry. */
+SearchOutcome runBeamSearch(const SearchContext &ctx,
+                            const BeamOptions &options);
+
+} // namespace prophunt::search
+
+#endif // PROPHUNT_SEARCH_BEAM_H

@@ -1,0 +1,178 @@
+#include "search/branch_bound.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace prophunt::search {
+
+namespace {
+
+/** DFS driver holding the shared mutable search state. */
+struct BnbDriver
+{
+    const SearchContext &ctx;
+    const BnbOptions &options;
+    SearchOutcome &out;
+    std::chrono::steady_clock::time_point t0;
+
+    /** Checks being branched on, most damage-sensitive first. */
+    std::vector<std::size_t> ranked;
+    /** sumMinRemaining[t] = sum of minCheckDamage over ranked[t..]. */
+    std::vector<uint64_t> sumMinRemaining;
+    /** Working check orders (assigned prefix mutated in place). */
+    std::vector<std::vector<std::size_t>> orders;
+    /** Fixed relative orders from the start schedule. */
+    std::vector<std::vector<std::size_t>> qubitOrders;
+
+    uint64_t incumbentObj = kInvalidObjective;
+    bool stop = false;
+
+    uint64_t
+    elapsedUs() const
+    {
+        return (uint64_t)std::chrono::duration_cast<
+                   std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    }
+
+    bool
+    budgetExpired()
+    {
+        if (ctx.cancelled() ||
+            (ctx.budget.maxExpansions != 0 &&
+             out.stats.expansions >= ctx.budget.maxExpansions) ||
+            (ctx.budget.wallSeconds > 0.0 &&
+             (double)elapsedUs() >= ctx.budget.wallSeconds * 1e6)) {
+            stop = true;
+        }
+        return stop;
+    }
+
+    void
+    visitLeaf(uint64_t /*fixed_damage*/)
+    {
+        circuit::SmSchedule cand(ctx.start.codePtr(), orders, qubitOrders);
+        uint64_t obj = ctx.objective.evaluate(cand);
+        if (obj == kInvalidObjective) {
+            ++out.stats.deadEnds; // reorders introduced a cycle
+            return;
+        }
+        if (obj < incumbentObj) {
+            incumbentObj = obj;
+            out.schedule = std::move(cand);
+            if (out.stats.firstImprovementExpansions == 0) {
+                out.stats.firstImprovementExpansions = out.stats.expansions;
+                out.stats.timeToFirstImprovementUs = elapsedUs();
+            }
+        }
+    }
+
+    void
+    descend(std::size_t t, uint64_t fixed_damage)
+    {
+        if (stop) {
+            return;
+        }
+        if (t == ranked.size()) {
+            visitLeaf(fixed_damage);
+            return;
+        }
+        std::size_t check = ranked[t];
+
+        struct Child
+        {
+            std::vector<std::size_t> order;
+            uint64_t damage;
+        };
+        std::vector<Child> children;
+        std::vector<std::size_t> perm = orders[check];
+        std::sort(perm.begin(), perm.end());
+        do {
+            children.push_back(
+                {perm, ctx.objective.checkDamage(check, perm)});
+        } while (std::next_permutation(perm.begin(), perm.end()));
+        std::sort(children.begin(), children.end(),
+                  [](const Child &a, const Child &b) {
+                      return a.damage != b.damage ? a.damage < b.damage
+                                                  : a.order < b.order;
+                  });
+        if (options.maxChildrenPerNode != 0 &&
+            children.size() > options.maxChildrenPerNode) {
+            children.resize(options.maxChildrenPerNode);
+        }
+
+        std::vector<std::size_t> saved = std::move(orders[check]);
+        for (Child &child : children) {
+            if (budgetExpired()) {
+                break;
+            }
+            ++out.stats.expansions;
+            uint64_t damage = fixed_damage + child.damage;
+            uint64_t bound =
+                (damage + sumMinRemaining[t + 1]) *
+                    ScheduleObjective::kAlignWeight +
+                ctx.objective.depthLoadBound();
+            if (bound >= incumbentObj) {
+                ++out.stats.prunedByBound;
+                continue;
+            }
+            orders[check] = std::move(child.order);
+            descend(t + 1, damage);
+        }
+        orders[check] = std::move(saved);
+    }
+};
+
+} // namespace
+
+SearchOutcome
+runBranchBound(const SearchContext &ctx, const BnbOptions &options)
+{
+    SearchOutcome out(ctx.start);
+    BnbDriver driver{ctx, options, out,
+                     std::chrono::steady_clock::now(), {}, {}, {}, {}};
+
+    const code::CssCode &code = ctx.start.code();
+    std::size_t m = code.numChecks();
+    driver.orders.resize(m);
+    for (std::size_t c = 0; c < m; ++c) {
+        driver.orders[c] = ctx.start.checkOrder(c);
+    }
+    driver.qubitOrders.resize(code.n());
+    for (std::size_t q = 0; q < code.n(); ++q) {
+        driver.qubitOrders[q] = ctx.start.qubitOrder(q);
+    }
+
+    // Branch on permutable checks, most damage-sensitive first (ties by
+    // index). Single-qubit checks have one permutation — nothing to do.
+    for (std::size_t c = 0; c < m; ++c) {
+        if (driver.orders[c].size() >= 2) {
+            driver.ranked.push_back(c);
+        }
+    }
+    std::stable_sort(
+        driver.ranked.begin(), driver.ranked.end(),
+        [&](std::size_t a, std::size_t b) {
+            uint64_t ra = ctx.objective.maxCheckDamage(a) -
+                          ctx.objective.minCheckDamage(a);
+            uint64_t rb = ctx.objective.maxCheckDamage(b) -
+                          ctx.objective.minCheckDamage(b);
+            return ra > rb;
+        });
+    driver.sumMinRemaining.assign(driver.ranked.size() + 1, 0);
+    for (std::size_t t = driver.ranked.size(); t-- > 0;) {
+        driver.sumMinRemaining[t] =
+            driver.sumMinRemaining[t + 1] +
+            ctx.objective.minCheckDamage(driver.ranked[t]);
+    }
+
+    driver.incumbentObj = ctx.objective.evaluate(ctx.start);
+    driver.descend(0, 0);
+
+    out.stats.bestObjective = driver.incumbentObj;
+    out.stats.totalUs = driver.elapsedUs();
+    return out;
+}
+
+} // namespace prophunt::search

@@ -1,0 +1,256 @@
+#include "search/objective.h"
+
+#include <algorithm>
+
+namespace prophunt::search {
+
+namespace {
+
+/** Family index of the data-error type a check's ancilla faults produce:
+ * X checks (ancilla as CNOT control) spread X errors, Z checks spread Z.
+ * X data errors align with X-type logical supports and are detected by
+ * Z checks; dually for Z. */
+constexpr std::size_t kXErrors = 0;
+constexpr std::size_t kZErrors = 1;
+
+std::size_t
+errorFamily(const code::CssCode &code, std::size_t check)
+{
+    return code.isXCheck(check) ? kXErrors : kZErrors;
+}
+
+} // namespace
+
+ScheduleObjective::ScheduleObjective(
+    std::shared_ptr<const code::CssCode> code)
+    : code_(std::move(code))
+{
+    std::size_t n = code_->n();
+    logicalMask_.resize(2);
+    const gf2::Matrix *logicals[2] = {&code_->lx(), &code_->lz()};
+    for (std::size_t f = 0; f < 2; ++f) {
+        const gf2::Matrix &l = *logicals[f];
+        logicalMask_[f].resize(l.rows());
+        for (std::size_t r = 0; r < l.rows(); ++r) {
+            logicalMask_[f][r].assign(n, 0);
+            for (std::size_t q = 0; q < n; ++q) {
+                logicalMask_[f][r][q] = l.get(r, q) ? 1 : 0;
+            }
+        }
+    }
+
+    // detectors_[kXErrors][q] = Z checks containing q; dually for Z.
+    detectors_.resize(2);
+    detectors_[kXErrors].resize(n);
+    detectors_[kZErrors].resize(n);
+    std::size_t m = code_->numChecks();
+    std::vector<std::size_t> degree(n, 0);
+    std::size_t max_weight = 0;
+    for (std::size_t c = 0; c < m; ++c) {
+        std::vector<std::size_t> support = code_->checkSupport(c);
+        max_weight = std::max(max_weight, support.size());
+        for (std::size_t q : support) {
+            ++degree[q];
+            if (code_->isXCheck(c)) {
+                detectors_[kZErrors][q].push_back(c);
+            } else {
+                detectors_[kXErrors][q].push_back(c);
+            }
+        }
+    }
+    std::size_t max_degree = 0;
+    for (std::size_t q = 0; q < n; ++q) {
+        max_degree = std::max(max_degree, degree[q]);
+    }
+    depthLoadBound_ = std::min<uint64_t>(
+        std::max<uint64_t>(max_weight, max_degree), kDepthMax);
+
+    minDamage_.assign(m, kInvalidObjective);
+    maxDamage_.assign(m, kInvalidObjective);
+}
+
+uint64_t
+ScheduleObjective::checkDamage(std::size_t check,
+                               const std::vector<std::size_t> &order) const
+{
+    const auto &masks = logicalMask_[errorFamily(*code_, check)];
+    if (masks.empty() || order.size() < 2) {
+        return 0;
+    }
+    std::size_t w = order.size();
+    uint64_t total = 0;
+    // overlap[r] tracks |prefix(k) ∩ L_r|; the suffix overlap is the
+    // row's full-support overlap minus it.
+    std::vector<std::size_t> overlap(masks.size(), 0);
+    std::vector<std::size_t> full(masks.size(), 0);
+    for (std::size_t r = 0; r < masks.size(); ++r) {
+        for (std::size_t q : order) {
+            full[r] += masks[r][q];
+        }
+    }
+    for (std::size_t k = 1; k < w; ++k) {
+        for (std::size_t r = 0; r < masks.size(); ++r) {
+            overlap[r] += masks[r][order[k - 1]];
+        }
+        uint64_t dmg_prefix = 0;
+        uint64_t dmg_suffix = 0;
+        for (std::size_t r = 0; r < masks.size(); ++r) {
+            std::size_t pre = overlap[r];
+            std::size_t suf = full[r] - overlap[r];
+            if (pre >= 2) {
+                dmg_prefix = std::max<uint64_t>(dmg_prefix, pre - 1);
+            }
+            if (suf >= 2) {
+                dmg_suffix = std::max<uint64_t>(dmg_suffix, suf - 1);
+            }
+        }
+        // The physical error is the suffix; modulo the stabilizer it is
+        // equivalent to the prefix. Both representations are available
+        // to a min-weight logical error, so the cut's damage is the
+        // more harmful of the two.
+        total += std::max(dmg_prefix, dmg_suffix);
+    }
+    return total;
+}
+
+void
+ScheduleObjective::enumerateDamage(std::size_t check) const
+{
+    std::vector<std::size_t> support = code_->checkSupport(check);
+    if (support.size() > kExactPermWidth) {
+        // Trivially admissible: damage is a sum of non-negative terms.
+        minDamage_[check] = 0;
+        maxDamage_[check] = checkDamage(check, support);
+        return;
+    }
+    std::sort(support.begin(), support.end());
+    uint64_t lo = kInvalidObjective;
+    uint64_t hi = 0;
+    do {
+        uint64_t d = checkDamage(check, support);
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+    } while (std::next_permutation(support.begin(), support.end()));
+    minDamage_[check] = lo;
+    maxDamage_[check] = hi;
+}
+
+uint64_t
+ScheduleObjective::minCheckDamage(std::size_t check) const
+{
+    if (minDamage_[check] == kInvalidObjective) {
+        enumerateDamage(check);
+    }
+    return minDamage_[check];
+}
+
+uint64_t
+ScheduleObjective::maxCheckDamage(std::size_t check) const
+{
+    if (maxDamage_[check] == kInvalidObjective) {
+        enumerateDamage(check);
+    }
+    return maxDamage_[check];
+}
+
+uint64_t
+ScheduleObjective::depthLoadBound() const
+{
+    return depthLoadBound_;
+}
+
+uint64_t
+ScheduleObjective::pack(const ObjectiveTerms &terms)
+{
+    if (!terms.valid) {
+        return kInvalidObjective;
+    }
+    uint64_t escape = std::min<uint64_t>(terms.sameRoundEscape, kEscapeMax);
+    uint64_t depth = std::min<uint64_t>(terms.depth, kDepthMax);
+    return terms.hookAlignment * kAlignWeight + escape * kEscapeWeight +
+           depth;
+}
+
+ObjectiveTerms
+ScheduleObjective::evaluateTerms(const circuit::SmSchedule &schedule) const
+{
+    ObjectiveTerms terms;
+    auto ts = schedule.computeTimesteps();
+    if (!ts || !schedule.commutationValid()) {
+        return terms;
+    }
+    terms.valid = true;
+    terms.depth = ts->depth;
+
+    std::size_t m = code_->numChecks();
+    for (std::size_t c = 0; c < m; ++c) {
+        terms.hookAlignment += checkDamage(c, schedule.checkOrder(c));
+    }
+
+    // readTime[q] = (check, timestep) of every CNOT touching q.
+    std::size_t n = code_->n();
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>> readTime(
+        n);
+    for (std::size_t c = 0; c < m; ++c) {
+        const auto &order = schedule.checkOrder(c);
+        for (std::size_t k = 0; k < order.size(); ++k) {
+            readTime[order[k]].push_back({c, ts->t[c][k]});
+        }
+    }
+    for (std::size_t c = 0; c < m; ++c) {
+        const auto &order = schedule.checkOrder(c);
+        bool x_errors = errorFamily(*code_, c) == kXErrors;
+        for (std::size_t j = 1; j < order.size(); ++j) {
+            std::size_t q = order[j];
+            std::size_t landed = ts->t[c][j];
+            bool caught = false;
+            for (const auto &[rc, rt] : readTime[q]) {
+                if (rc == c) {
+                    continue;
+                }
+                bool detects =
+                    x_errors ? !code_->isXCheck(rc) : code_->isXCheck(rc);
+                if (detects && rt > landed) {
+                    caught = true;
+                    break;
+                }
+            }
+            if (!caught) {
+                ++terms.sameRoundEscape;
+            }
+        }
+    }
+    return terms;
+}
+
+uint64_t
+ScheduleObjective::evaluate(const circuit::SmSchedule &schedule) const
+{
+    return pack(evaluateTerms(schedule));
+}
+
+uint64_t
+scheduleKey(const circuit::SmSchedule &schedule)
+{
+    uint64_t h = 1469598103934665603ULL; // FNV offset basis
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL; // FNV prime
+    };
+    const code::CssCode &code = schedule.code();
+    for (std::size_t c = 0; c < code.numChecks(); ++c) {
+        mix(0xc0de0000 + c);
+        for (std::size_t q : schedule.checkOrder(c)) {
+            mix(q + 1);
+        }
+    }
+    for (std::size_t q = 0; q < code.n(); ++q) {
+        mix(0x0b170000 + q);
+        for (std::size_t c : schedule.qubitOrder(q)) {
+            mix(c + 1);
+        }
+    }
+    return h;
+}
+
+} // namespace prophunt::search

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The propagation-weight objective the schedule-search strategies
+ * minimize.
+ *
+ * The paper's expensive quality signal (circuit-level effective distance
+ * via subgraph MaxSAT solves) is replaced here by a deterministic O(CNOTs)
+ * proxy built from the same hook-error propagation analysis (Sections 2-3):
+ *
+ *  - **Hook alignment.** An ancilla fault between the CNOTs of a weight-w
+ *    check propagates onto the suffix of the check's CNOT order. Modulo
+ *    the stabilizer, the damage of a cut is the smaller of the suffix and
+ *    its complement; a cut is harmful exactly when that set covers two or
+ *    more qubits of one logical-operator support (k qubits of a logical
+ *    for the price of one fault = k-1 free steps, the mechanism that
+ *    halves the effective distance of the "poor" surface schedule). Per
+ *    check, damage depends only on that check's own CNOT permutation, so
+ *    it is separable — the property branch-and-bound's lower bound uses.
+ *
+ *  - **Same-round escape.** A propagated data error landing on qubit q at
+ *    timestep t is caught this round only if some opposite-type check
+ *    reads q after t; otherwise detection slips to the next round and the
+ *    space-time error diagonal lengthens. This term depends on the full
+ *    timestep layering, so rescheduling (relative-order) moves affect it.
+ *
+ *  - **Depth.** The paper's secondary target, as a final tie-breaker.
+ *
+ * The scalar objective packs the three terms with fixed radix weights so
+ * comparisons are exact integer comparisons: hook alignment dominates,
+ * then escape, then depth. Lower is better.
+ */
+#ifndef PROPHUNT_SEARCH_OBJECTIVE_H
+#define PROPHUNT_SEARCH_OBJECTIVE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuit/schedule.h"
+#include "search/stats.h"
+
+namespace prophunt::search {
+
+/** Term breakdown of one evaluation (for tests and reports). */
+struct ObjectiveTerms
+{
+    uint64_t hookAlignment = 0;
+    uint64_t sameRoundEscape = 0;
+    uint64_t depth = 0;
+    /** False for unschedulable or commutation-breaking schedules. */
+    bool valid = false;
+};
+
+/**
+ * Evaluator of the propagation-weight objective over one CSS code.
+ *
+ * Immutable after construction and safe to share between strategies; the
+ * per-check minimum-damage table (the B&B relaxation) is precomputed
+ * lazily per check and memoized.
+ */
+class ScheduleObjective
+{
+  public:
+    /** Radix weights packing (hookAlignment, escape, depth) into one
+     * uint64. Escape and depth saturate at their field width, keeping
+     * the packing a valid (if then coarser) total order. */
+    static constexpr uint64_t kAlignWeight = uint64_t(1) << 28;
+    static constexpr uint64_t kEscapeWeight = uint64_t(1) << 14;
+    static constexpr uint64_t kEscapeMax = (uint64_t(1) << 14) - 1;
+    static constexpr uint64_t kDepthMax = (uint64_t(1) << 14) - 1;
+
+    /** Per-check exact minimum-damage enumeration bound: supports wider
+     * than this get the trivially admissible bound 0. */
+    static constexpr std::size_t kExactPermWidth = 7;
+
+    explicit ScheduleObjective(
+        std::shared_ptr<const code::CssCode> code);
+
+    const code::CssCode &code() const { return *code_; }
+
+    /** Full objective; kInvalidObjective for invalid schedules. */
+    uint64_t evaluate(const circuit::SmSchedule &schedule) const;
+
+    /** Term breakdown (same validity rules as evaluate). */
+    ObjectiveTerms evaluateTerms(const circuit::SmSchedule &schedule) const;
+
+    /** Pack terms into the scalar objective. */
+    static uint64_t pack(const ObjectiveTerms &terms);
+
+    /** Hook-alignment damage of one check under one CNOT order. */
+    uint64_t checkDamage(std::size_t check,
+                         const std::vector<std::size_t> &order) const;
+
+    /**
+     * Admissible lower bound on checkDamage over all permutations of the
+     * check's support: exact (enumerated, memoized) when the support is
+     * at most kExactPermWidth wide, else 0.
+     */
+    uint64_t minCheckDamage(std::size_t check) const;
+
+    /** Exact maximum of checkDamage over all permutations (same width
+     * rule; wide checks report the damage of the natural order). Used
+     * only to rank branching variables, never as a bound. */
+    uint64_t maxCheckDamage(std::size_t check) const;
+
+    /**
+     * Admissible lower bound on one round's CNOT depth from per-check
+     * and per-qubit load relaxations: every check's CNOTs are serial,
+     * and two CNOTs on one data qubit never share a timestep, so
+     * depth >= max(max check weight, max qubit degree) for every
+     * permutation assignment.
+     */
+    uint64_t depthLoadBound() const;
+
+  private:
+    void enumerateDamage(std::size_t check) const;
+
+    std::shared_ptr<const code::CssCode> code_;
+    /** Logical supports as dense membership masks: logicalMask_[f][r][q],
+     * f = 0 for X-type logicals (lx), 1 for Z-type (lz). */
+    std::vector<std::vector<std::vector<uint8_t>>> logicalMask_;
+    /** For each data qubit, the opposite-type... (see .cc): detector
+     * checks per (error type): detectors_[f][q] = checks of the type
+     * that detects f-type data errors containing q. */
+    std::vector<std::vector<std::vector<std::size_t>>> detectors_;
+    /** Memoized per-check damage extrema (kInvalidObjective = unset). */
+    mutable std::vector<uint64_t> minDamage_;
+    mutable std::vector<uint64_t> maxDamage_;
+    uint64_t depthLoadBound_ = 0;
+};
+
+/** FNV-1a hash of both order families — the dedup/tie-break key used by
+ * the search strategies. Deterministic across processes. */
+uint64_t scheduleKey(const circuit::SmSchedule &schedule);
+
+} // namespace prophunt::search
+
+#endif // PROPHUNT_SEARCH_OBJECTIVE_H

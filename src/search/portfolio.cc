@@ -1,0 +1,144 @@
+#include "search/portfolio.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace prophunt::search {
+
+namespace {
+
+uint64_t
+nowUs()
+{
+    return (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The MaxSAT backend wrapped as a portfolio strategy: one PropHunt run,
+ * its iteration telemetry folded into SearchStats. */
+SearchOutcome
+runMaxSatStrategy(const SearchContext &ctx, std::size_t rounds,
+                  const core::PropHuntOptions &opts,
+                  core::OptimizeResult &prophunt_out)
+{
+    SearchOutcome out(ctx.start);
+    uint64_t t0 = nowUs();
+
+    core::PropHuntOptions run_opts = opts;
+    run_opts.cancel = ctx.cancel;
+    if (ctx.budget.wallSeconds > 0.0) {
+        run_opts.wallSecondsBudget = ctx.budget.wallSeconds;
+    }
+    core::PropHunt tool(run_opts);
+    prophunt_out = tool.optimize(ctx.start, rounds);
+    out.schedule = prophunt_out.finalSchedule();
+
+    bool improved = false;
+    for (const core::IterationRecord &rec : prophunt_out.history) {
+        out.stats.expansions +=
+            rec.ambiguousFound + rec.candidatesEnumerated;
+        out.stats.deadEnds +=
+            rec.candidatesEnumerated - rec.changesVerified;
+        if (!improved && rec.changesApplied > 0) {
+            improved = true;
+            out.stats.firstImprovementExpansions = out.stats.expansions;
+            out.stats.timeToFirstImprovementUs = nowUs() - t0;
+        }
+    }
+    out.stats.bestObjective = ctx.objective.evaluate(out.schedule);
+    out.stats.totalUs = nowUs() - t0;
+    return out;
+}
+
+} // namespace
+
+core::OptimizeResult
+runPortfolio(const circuit::SmSchedule &start, std::size_t rounds,
+             const core::PropHuntOptions &opts,
+             const PortfolioOptions &portfolio)
+{
+    ScheduleObjective objective(start.codePtr());
+    uint64_t start_obj = objective.evaluate(start);
+
+    std::size_t enabled = (portfolio.includeBeam ? 1 : 0) +
+                          (portfolio.includeBranchBound ? 1 : 0) +
+                          (portfolio.includeMaxSat ? 1 : 0);
+    double wall_share =
+        portfolio.wallSeconds > 0.0 && enabled > 0
+            ? portfolio.wallSeconds / (double)enabled
+            : 0.0;
+    auto budgetFor = [&](SearchBudget b) {
+        if (wall_share > 0.0 &&
+            (b.wallSeconds == 0.0 || wall_share < b.wallSeconds)) {
+            b.wallSeconds = wall_share;
+        }
+        return b;
+    };
+
+    core::OptimizeResult maxsat_outcome;
+    std::vector<StrategyReport> reports;
+    std::vector<circuit::SmSchedule> schedules;
+
+    if (portfolio.includeBeam) {
+        SearchContext ctx{start, objective,
+                          budgetFor(portfolio.beamBudget), opts.seed,
+                          opts.cancel};
+        SearchOutcome o = runBeamSearch(ctx, portfolio.beam);
+        reports.push_back({"beam", o.stats, false, false});
+        schedules.push_back(std::move(o.schedule));
+    }
+    if (portfolio.includeBranchBound) {
+        SearchContext ctx{start, objective,
+                          budgetFor(portfolio.bnbBudget), opts.seed,
+                          opts.cancel};
+        SearchOutcome o = runBranchBound(ctx, portfolio.bnb);
+        reports.push_back({"branch_bound", o.stats, false, false});
+        schedules.push_back(std::move(o.schedule));
+    }
+    if (portfolio.includeMaxSat) {
+        SearchContext ctx{start, objective,
+                          SearchBudget{0, wall_share}, opts.seed,
+                          opts.cancel};
+        SearchOutcome o =
+            runMaxSatStrategy(ctx, rounds, opts, maxsat_outcome);
+        reports.push_back({"maxsat", o.stats, false, false});
+        schedules.push_back(std::move(o.schedule));
+    }
+
+    // Verify every strategy's schedule centrally and pick the winner:
+    // minimum objective, ties to the earlier strategy. The start
+    // schedule is the floor — the portfolio never returns worse.
+    std::size_t winner = schedules.size();
+    uint64_t winner_obj = start_obj;
+    for (std::size_t i = 0; i < schedules.size(); ++i) {
+        uint64_t obj = objective.evaluate(schedules[i]);
+        reports[i].verified =
+            obj != kInvalidObjective && obj <= start_obj;
+        if (reports[i].verified && obj < winner_obj) {
+            winner = i;
+            winner_obj = obj;
+        }
+    }
+
+    core::OptimizeResult result;
+    if (portfolio.includeMaxSat) {
+        result = std::move(maxsat_outcome);
+    } else {
+        result.snapshots.push_back(start);
+    }
+    if (winner < schedules.size()) {
+        reports[winner].winner = true;
+        if (!(result.snapshots.back() == schedules[winner])) {
+            result.snapshots.push_back(std::move(schedules[winner]));
+        }
+    } else if (!(result.snapshots.back() == start)) {
+        // No strategy beat the start schedule: fall back to it even if
+        // the MaxSAT loop drifted to an objective-worse schedule.
+        result.snapshots.push_back(start);
+    }
+    result.searchReports = std::move(reports);
+    return result;
+}
+
+} // namespace prophunt::search

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The anytime schedule-search portfolio: beam search and branch-and-bound
+ * raced against the MaxSAT-driven PropHunt loop.
+ *
+ * Every OptimizeRequest with portfolio.enabled flows through
+ * runPortfolio(): each enabled strategy runs under its own anytime
+ * budget, every returned schedule is re-verified (commutation validity,
+ * schedulability, objective no worse than the start), and the best
+ * verified schedule wins — ties break on the fixed strategy order
+ * (beam, branch_bound, maxsat), so the outcome is deterministic.
+ *
+ * Determinism contract: with expansion-count budgets (the default) the
+ * returned core::OptimizeResult — schedules, history counters, and all
+ * non-wall-clock SearchStats fields — is bit-identical across reruns
+ * and thread counts. Wall-clock budgets (PortfolioOptions::wallSeconds
+ * or per-strategy SearchBudget::wallSeconds) are an explicit opt-in
+ * that gives latency control instead.
+ */
+#ifndef PROPHUNT_SEARCH_PORTFOLIO_H
+#define PROPHUNT_SEARCH_PORTFOLIO_H
+
+#include "prophunt/optimizer.h"
+#include "search/beam.h"
+#include "search/branch_bound.h"
+#include "search/strategy.h"
+
+namespace prophunt::search {
+
+/** Portfolio composition and budgets. */
+struct PortfolioOptions
+{
+    /** Route OptimizeRequest through the portfolio (off = the classic
+     * MaxSAT-only PropHunt loop). */
+    bool enabled = false;
+
+    bool includeBeam = true;
+    bool includeBranchBound = true;
+    /** Include the MaxSAT-driven PropHunt loop as a strategy. Its budget
+     * is PropHuntOptions::iterations (plus the shared wall budget). */
+    bool includeMaxSat = true;
+
+    /** Per-strategy expansion budgets (0 = unlimited; keep bounded). */
+    SearchBudget beamBudget{4000, 0.0};
+    SearchBudget bnbBudget{8000, 0.0};
+
+    BeamOptions beam;
+    BnbOptions bnb;
+
+    /**
+     * Optional overall wall-clock budget in seconds, split evenly across
+     * the enabled strategies on top of their expansion budgets. Opt-in:
+     * breaks bit-reproducibility (results then depend on machine speed).
+     */
+    double wallSeconds = 0.0;
+};
+
+/**
+ * Race the portfolio from @p start.
+ *
+ * @param start Starting schedule.
+ * @param rounds Memory-experiment rounds for the MaxSAT strategy's
+ * circuit-level model.
+ * @param opts PropHunt knobs: seed (shared by all strategies), cancel
+ * flag, thread pool, and the MaxSAT strategy's own budgets.
+ *
+ * The result's snapshots end with the portfolio's best verified
+ * schedule; per-strategy SearchStats land in searchReports.
+ */
+core::OptimizeResult runPortfolio(const circuit::SmSchedule &start,
+                                  std::size_t rounds,
+                                  const core::PropHuntOptions &opts,
+                                  const PortfolioOptions &portfolio);
+
+} // namespace prophunt::search
+
+#endif // PROPHUNT_SEARCH_PORTFOLIO_H

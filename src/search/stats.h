@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Search telemetry shared by every schedule-search strategy.
+ *
+ * This header is dependency-free so prophunt::core::OptimizeResult can
+ * carry per-strategy reports without pulling the search subsystem into
+ * the optimizer's include graph.
+ */
+#ifndef PROPHUNT_SEARCH_STATS_H
+#define PROPHUNT_SEARCH_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prophunt::search {
+
+/** Sentinel objective for "no schedule found / invalid schedule". */
+inline constexpr uint64_t kInvalidObjective = UINT64_MAX;
+
+/**
+ * Per-strategy search counters.
+ *
+ * Everything except the wall-clock fields is deterministic under an
+ * expansion-count budget: two runs with the same seed and budgets must
+ * produce bit-identical counters (tested in tests/search_test.cc).
+ */
+struct SearchStats
+{
+    /** Candidate schedules evaluated (beam neighbors, B&B nodes,
+     * MaxSAT candidate changes enumerated). */
+    uint64_t expansions = 0;
+    /** Subtrees discarded because the admissible lower bound reached
+     * the incumbent (B&B only; 0 for beam and MaxSAT). */
+    uint64_t prunedByBound = 0;
+    /** Candidates discarded as invalid: unschedulable, commutation
+     * breaking, or failing ambiguity-removal verification. */
+    uint64_t deadEnds = 0;
+    /** Best propagation-weight objective reached (kInvalidObjective if
+     * the strategy never produced a valid schedule). */
+    uint64_t bestObjective = kInvalidObjective;
+    /** Expansion count at which the first strict improvement over the
+     * start schedule was recorded (0 = never improved). Deterministic
+     * counterpart of timeToFirstImprovementUs. */
+    uint64_t firstImprovementExpansions = 0;
+    /** Wall-clock microseconds until the first strict improvement
+     * (0 = never improved). Telemetry only — excluded from the
+     * determinism contract. */
+    uint64_t timeToFirstImprovementUs = 0;
+    /** Total wall-clock microseconds spent in the strategy. Telemetry
+     * only — excluded from the determinism contract. */
+    uint64_t totalUs = 0;
+};
+
+/** One strategy's outcome inside a portfolio run. */
+struct StrategyReport
+{
+    /** Strategy name: "beam", "branch_bound", "maxsat". */
+    std::string name;
+    SearchStats stats;
+    /** True iff the strategy's returned schedule passed verification
+     * (commutation-valid, schedulable, never worse than start). */
+    bool verified = false;
+    /** True iff this strategy produced the portfolio's final schedule. */
+    bool winner = false;
+};
+
+} // namespace prophunt::search
+
+#endif // PROPHUNT_SEARCH_STATS_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The anytime search-strategy contract of the schedule-search subsystem.
+ *
+ * Every strategy minimizes the propagation-weight objective over schedule
+ * space, starting from a given schedule, and is *anytime*: whenever the
+ * budget expires (or the caller cancels) it returns the best schedule
+ * found so far, never worse than the start.
+ *
+ * Determinism contract: with budget.wallSeconds == 0 (the default), a
+ * strategy's outcome — schedule and all non-wall-clock SearchStats
+ * fields — is a pure function of (start schedule, options, seed,
+ * expansion budget). Wall-clock budgets are an explicit opt-in that
+ * trades reproducibility for latency control.
+ */
+#ifndef PROPHUNT_SEARCH_STRATEGY_H
+#define PROPHUNT_SEARCH_STRATEGY_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "circuit/schedule.h"
+#include "search/objective.h"
+#include "search/stats.h"
+
+namespace prophunt::search {
+
+/** Anytime budget. */
+struct SearchBudget
+{
+    /** Maximum candidate evaluations (0 = unlimited). */
+    uint64_t maxExpansions = 0;
+    /** Wall-clock budget in seconds (0 = off). Opt-in: breaks the
+     * bit-reproducibility contract. */
+    double wallSeconds = 0.0;
+};
+
+/** Shared per-run inputs handed to every strategy. */
+struct SearchContext
+{
+    const circuit::SmSchedule &start;
+    const ScheduleObjective &objective;
+    SearchBudget budget;
+    uint64_t seed = 1;
+    /** Optional caller-owned cancellation flag; checked between
+     * expansions. */
+    const std::atomic<bool> *cancel = nullptr;
+
+    bool
+    cancelled() const
+    {
+        return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+    }
+};
+
+/** Outcome of one strategy run. */
+struct SearchOutcome
+{
+    /** Best schedule found (the start schedule if nothing better). */
+    circuit::SmSchedule schedule;
+    SearchStats stats;
+
+    explicit SearchOutcome(circuit::SmSchedule s) : schedule(std::move(s))
+    {
+    }
+};
+
+} // namespace prophunt::search
+
+#endif // PROPHUNT_SEARCH_STRATEGY_H
