@@ -23,6 +23,17 @@
  * recorded at. Writes $PROPHUNT_BENCH_OUT (default
  * BENCH_search_portfolio.json). PROPHUNT_FULL adds the rqt60 LDPC
  * config on top of the surface-code defaults.
+ *
+ * Expansion-rate gates (surface_d5_poor beam, also skipped under budget
+ * overrides):
+ *
+ *  - FAILS if the incremental beam expands < 5x faster than a same-run
+ *    scratch calibration (deep copy + from-scratch evaluate + full
+ *    re-hash per expansion — the pre-incremental cost model). Same-run
+ *    calibration makes this gate machine-independent.
+ *  - FAILS if the machine's scratch calibration is at least as fast as
+ *    the committed one (same-or-better hardware) but the beam rate
+ *    drops below half the committed beam rate.
  */
 #include <benchmark/benchmark.h>
 
@@ -32,6 +43,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "search/incremental.h"
 #include "search/portfolio.h"
 
 using namespace prophunt;
@@ -57,8 +69,40 @@ struct Row
     uint64_t startObjective = 0;
     uint64_t portfolioObjective = 0;
     double secs = 0.0;
+    /** Same-run scratch-evaluation rate (0 = not calibrated). */
+    double scratchRate = 0.0;
     std::vector<StrategyRow> strategies;
 };
+
+/**
+ * Expansions/sec of the pre-incremental cost model: every expansion
+ * pays a deep schedule copy, a from-scratch objective evaluation, and
+ * a full schedule re-hash. The incremental beam rate is gated against
+ * this number measured in the same process, so the ratio is a
+ * machine-independent speedup, not an absolute-time assertion.
+ */
+double
+scratchCalibration(const circuit::SmSchedule &start, std::size_t count)
+{
+    search::ScheduleObjective objective(start.codePtr());
+    std::vector<search::Move> moves;
+    search::enumerateMoves(start, moves);
+    if (moves.empty() || count == 0) {
+        return 0.0;
+    }
+    uint64_t sink = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < count; ++i) {
+        circuit::SmSchedule next =
+            search::applyMove(start, moves[i % moves.size()]);
+        sink ^= objective.evaluate(next) ^ search::scheduleKey(next);
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    benchmark::DoNotOptimize(sink);
+    return secs > 0.0 ? (double)count / secs : 0.0;
+}
 
 /** As decode_service: numeric @p key of @p code's entry in one of our
  * own committed JSON artifacts (0 when absent). */
@@ -129,18 +173,23 @@ race(const std::string &label, const circuit::SmSchedule &start,
 
     std::printf("\n--- %s (start objective %llu) ---\n", label.c_str(),
                 (unsigned long long)row.startObjective);
-    std::printf("%14s %10s %8s %8s %16s %10s %8s\n", "strategy",
-                "expansions", "pruned", "dead", "best_objective",
-                "first_imp", "winner");
+    std::printf("%14s %10s %8s %8s %16s %10s %10s %8s %8s %8s\n",
+                "strategy", "expansions", "pruned", "dead",
+                "best_objective", "first_imp", "exp/s", "tt_hit",
+                "tt_miss", "winner");
     for (const StrategyRow &s : row.strategies) {
-        std::printf("%14s %10llu %8llu %8llu %16llu %10llu %8s\n",
-                    s.name.c_str(),
-                    (unsigned long long)s.stats.expansions,
-                    (unsigned long long)s.stats.prunedByBound,
-                    (unsigned long long)s.stats.deadEnds,
-                    (unsigned long long)s.stats.bestObjective,
-                    (unsigned long long)s.stats.firstImprovementExpansions,
-                    s.winner ? "yes" : "");
+        std::printf(
+            "%14s %10llu %8llu %8llu %16llu %10llu %10.0f %8llu %8llu "
+            "%8s\n",
+            s.name.c_str(), (unsigned long long)s.stats.expansions,
+            (unsigned long long)s.stats.prunedByBound,
+            (unsigned long long)s.stats.deadEnds,
+            (unsigned long long)s.stats.bestObjective,
+            (unsigned long long)s.stats.firstImprovementExpansions,
+            s.stats.expansionsPerSec(),
+            (unsigned long long)s.stats.transpositionHits,
+            (unsigned long long)s.stats.transpositionMisses,
+            s.winner ? "yes" : "");
     }
     std::printf("portfolio best %llu in %.2fs\n",
                 (unsigned long long)row.portfolioObjective, row.secs);
@@ -181,6 +230,10 @@ main(int argc, char **argv)
         code::SurfaceCode s(5);
         rows.push_back(race("surface_d5_poor",
                             circuit::poorSurfaceSchedule(s), 5));
+        rows.back().scratchRate =
+            scratchCalibration(circuit::poorSurfaceSchedule(s), 400);
+        std::printf("scratch calibration (d5): %.0f expansions/sec\n",
+                    rows.back().scratchRate);
     }
     if (phbench::envFlag("PROPHUNT_FULL")) {
         auto c = code::benchmarkRqt60();
@@ -229,6 +282,50 @@ main(int argc, char **argv)
                 failed = true;
             }
         }
+
+        // Expansion-rate gates on the d5 beam. The 5x ratio compares
+        // against the same-run scratch calibration, so it holds on any
+        // machine; the absolute-rate gate only fires on hardware that
+        // matches or beats the committed calibration speed.
+        for (const Row &row : rows) {
+            if (row.code != "surface_d5_poor" || row.scratchRate <= 0.0) {
+                continue;
+            }
+            double beam_rate = 0.0;
+            for (const StrategyRow &s : row.strategies) {
+                if (s.name == "beam") {
+                    beam_rate = s.stats.expansionsPerSec();
+                }
+            }
+            if (beam_rate <= 0.0) {
+                continue;
+            }
+            double ratio = beam_rate / row.scratchRate;
+            std::printf("\nd5 beam incremental speedup: %.1fx over "
+                        "scratch (%.0f vs %.0f expansions/sec)\n",
+                        ratio, beam_rate, row.scratchRate);
+            if (ratio < 5.0) {
+                std::printf("FAIL: incremental beam is only %.1fx the "
+                            "scratch rate (gate: >= 5x)\n",
+                            ratio);
+                failed = true;
+            }
+            double committed_scratch = baselineValue(
+                baseline, row.code, "scratch_expansions_per_sec");
+            double committed_beam = baselineValue(
+                baseline, row.code, "beam_expansions_per_sec");
+            if (committed_scratch > 0.0 && committed_beam > 0.0 &&
+                row.scratchRate >= committed_scratch &&
+                beam_rate < 0.5 * committed_beam) {
+                std::printf(
+                    "FAIL: machine matches committed calibration "
+                    "(%.0f >= %.0f scratch exp/s) but beam rate %.0f "
+                    "fell below half the committed %.0f\n",
+                    row.scratchRate, committed_scratch, beam_rate,
+                    committed_beam);
+                failed = true;
+            }
+        }
     }
 
     const char *outPath = std::getenv("PROPHUNT_BENCH_OUT");
@@ -244,6 +341,19 @@ main(int argc, char **argv)
             std::fprintf(f, "     \"portfolio_objective\": %llu,\n",
                          (unsigned long long)row.portfolioObjective);
             std::fprintf(f, "     \"seconds\": %.3f,\n", row.secs);
+            if (row.scratchRate > 0.0) {
+                std::fprintf(f,
+                             "     \"scratch_expansions_per_sec\": %.0f,\n",
+                             row.scratchRate);
+                for (const StrategyRow &sr : row.strategies) {
+                    if (sr.name == "beam") {
+                        std::fprintf(
+                            f,
+                            "     \"beam_expansions_per_sec\": %.0f,\n",
+                            sr.stats.expansionsPerSec());
+                    }
+                }
+            }
             std::fprintf(f, "     \"strategies\": [\n");
             for (std::size_t s = 0; s < row.strategies.size(); ++s) {
                 const StrategyRow &sr = row.strategies[s];
@@ -254,6 +364,9 @@ main(int argc, char **argv)
                     "\"dead_ends\": %llu,\n"
                     "       \"best_objective\": %llu, "
                     "\"first_improvement_expansions\": %llu,\n"
+                    "       \"expansions_per_sec\": %.0f, "
+                    "\"transposition_hits\": %llu, "
+                    "\"transposition_misses\": %llu,\n"
                     "       \"total_us\": %llu}%s\n",
                     sr.name.c_str(), sr.winner ? "true" : "false",
                     (unsigned long long)sr.stats.expansions,
@@ -261,6 +374,9 @@ main(int argc, char **argv)
                     (unsigned long long)sr.stats.deadEnds,
                     (unsigned long long)sr.stats.bestObjective,
                     (unsigned long long)sr.stats.firstImprovementExpansions,
+                    sr.stats.expansionsPerSec(),
+                    (unsigned long long)sr.stats.transpositionHits,
+                    (unsigned long long)sr.stats.transpositionMisses,
                     (unsigned long long)sr.stats.totalUs,
                     s + 1 < row.strategies.size() ? "," : "");
             }

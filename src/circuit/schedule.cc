@@ -195,7 +195,15 @@ SmSchedule::withReorder(std::size_t check, std::size_t from_pos,
                         std::size_t before_pos) const
 {
     SmSchedule s = *this;
-    auto &o = s.checkOrder_[check];
+    s.applyReorder(check, from_pos, before_pos);
+    return s;
+}
+
+std::size_t
+SmSchedule::applyReorder(std::size_t check, std::size_t from_pos,
+                         std::size_t before_pos)
+{
+    auto &o = checkOrder_[check];
     std::size_t q = o[from_pos];
     o.erase(o.begin() + (long)from_pos);
     std::size_t dest = before_pos;
@@ -203,7 +211,21 @@ SmSchedule::withReorder(std::size_t check, std::size_t from_pos,
         --dest;
     }
     o.insert(o.begin() + (long)dest, q);
-    return s;
+    return dest;
+}
+
+void
+SmSchedule::applySwapAt(std::size_t qubit, std::size_t pos_a,
+                        std::size_t pos_b)
+{
+    auto &o = qubitOrder_[qubit];
+    std::swap(o[pos_a], o[pos_b]);
+}
+
+void
+SmSchedule::setCheckOrder(std::size_t check, std::vector<std::size_t> order)
+{
+    checkOrder_[check] = std::move(order);
 }
 
 SmSchedule

@@ -7,6 +7,8 @@
 #include <map>
 #include <set>
 
+#include "search/objective.h"
+#include "search/transposition.h"
 #include "sim/dem_builder.h"
 #include "sim/parallel_sampler.h"
 
@@ -196,13 +198,36 @@ PropHunt::optimize(const circuit::SmSchedule &start,
                                   tasks[i].plan->bw->dem, rounds,
                                   tasks[i].plan->bw->basis, noise);
             } else {
-                // Ablated pruning: only circuit validity is checked.
+                // Ablated pruning: only circuit validity is checked. A
+                // shared transposition cache already knows the verdict
+                // for schedules the search portfolio scored; probe it
+                // (read-only — parallel inserts would make hit counts
+                // timing-dependent) before paying the full check.
                 circuit::SmSchedule cand = tasks[i].change->apply(current);
-                if (cand.commutationValid()) {
-                    auto ts = cand.computeTimesteps();
-                    if (ts) {
-                        vc = VerifiedChange{*tasks[i].change,
-                                            std::move(cand), ts->depth};
+                uint64_t cached = 0;
+                bool have_cached =
+                    opts_.transpositions != nullptr &&
+                    opts_.transpositions->lookup(
+                        search::scheduleKey(cand), cached);
+                if (have_cached &&
+                    cached == search::kInvalidObjective) {
+                    // Known invalid: reject without re-checking.
+                } else if (have_cached &&
+                           search::ScheduleObjective::unpackDepth(
+                               cached)) {
+                    vc = VerifiedChange{
+                        *tasks[i].change, std::move(cand),
+                        *search::ScheduleObjective::unpackDepth(cached)};
+                } else {
+                    // Miss, or depth saturated in the packed objective:
+                    // fall back to the full validity check.
+                    if (cand.commutationValid()) {
+                        auto ts = cand.computeTimesteps();
+                        if (ts) {
+                            vc = VerifiedChange{*tasks[i].change,
+                                                std::move(cand),
+                                                ts->depth};
+                        }
                     }
                 }
             }
@@ -238,9 +263,18 @@ PropHunt::optimize(const circuit::SmSchedule &start,
                     break; // already applied for another subgraph
                 }
                 // Re-validate against the *current* schedule (a previously
-                // applied change may interact).
+                // applied change may interact). A cached objective for
+                // the candidate already encodes validity.
                 circuit::SmSchedule next = vc.change.apply(current);
-                if (!next.commutationValid() || !next.schedulable()) {
+                uint64_t cached = 0;
+                if (opts_.transpositions != nullptr &&
+                    opts_.transpositions->lookup(
+                        search::scheduleKey(next), cached)) {
+                    if (cached == search::kInvalidObjective) {
+                        continue;
+                    }
+                } else if (!next.commutationValid() ||
+                           !next.schedulable()) {
                     continue;
                 }
                 current = std::move(next);

@@ -27,6 +27,10 @@
 #include "search/stats.h"
 #include "sim/noise_model.h"
 
+namespace prophunt::search {
+class TranspositionCache;
+} // namespace prophunt::search
+
 namespace prophunt::core {
 
 /** Tuning knobs of the optimization loop. */
@@ -90,6 +94,14 @@ struct PropHuntOptions
      * for latency control.
      */
     double wallSecondsBudget = 0.0;
+    /**
+     * Optional caller-owned transposition cache (scheduleKey -> packed
+     * objective) shared with the search portfolio. When set, the loop's
+     * candidate-validity and revalidation steps probe it before paying a
+     * full commutation/timestep check; cached entries are bit-identical
+     * to fresh evaluations, so results are unchanged by this knob.
+     */
+    search::TranspositionCache *transpositions = nullptr;
 };
 
 /** Telemetry for one optimization iteration. */

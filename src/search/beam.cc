@@ -2,70 +2,23 @@
 
 #include <algorithm>
 #include <chrono>
-#include <unordered_set>
 
+#include "search/incremental.h"
+#include "search/transposition.h"
 #include "sim/rng.h"
 
 namespace prophunt::search {
 
 namespace {
 
-/** One schedule move: a reorder or a relative swap. */
-struct Move
-{
-    enum class Kind { Reorder, RelativeSwap };
-    Kind kind = Kind::Reorder;
-    std::size_t a = 0; // check (reorder) / qubit (swap)
-    std::size_t b = 0; // from_pos / check_a
-    std::size_t c = 0; // before_pos / check_b
-};
-
-/** All single moves of a schedule, in a fixed deterministic order. */
-std::vector<Move>
-enumerateMoves(const circuit::SmSchedule &sched)
-{
-    std::vector<Move> moves;
-    const code::CssCode &code = sched.code();
-    for (std::size_t check = 0; check < code.numChecks(); ++check) {
-        std::size_t w = sched.checkOrder(check).size();
-        for (std::size_t from = 0; from < w; ++from) {
-            for (std::size_t before = 0; before <= w; ++before) {
-                if (before == from || before == from + 1) {
-                    continue; // no-op positions
-                }
-                moves.push_back(
-                    {Move::Kind::Reorder, check, from, before});
-            }
-        }
-    }
-    for (std::size_t q = 0; q < code.n(); ++q) {
-        const auto &order = sched.qubitOrder(q);
-        for (std::size_t i = 0; i < order.size(); ++i) {
-            for (std::size_t j = i + 1; j < order.size(); ++j) {
-                moves.push_back(
-                    {Move::Kind::RelativeSwap, q, order[i], order[j]});
-            }
-        }
-    }
-    return moves;
-}
-
-circuit::SmSchedule
-applyMove(const circuit::SmSchedule &sched, const Move &move)
-{
-    if (move.kind == Move::Kind::Reorder) {
-        return sched.withReorder(move.a, move.b, move.c);
-    }
-    return sched.withRelativeSwap(move.a, move.b, move.c);
-}
-
 /** Deterministic subsample of k move indices, returned ascending so the
- * enumeration order survives. Partial Fisher-Yates over an index array
- * seeded from (seed, iteration, state). */
-std::vector<std::size_t>
-sampleIndices(std::size_t total, std::size_t k, uint64_t seed)
+ * enumeration order survives. Partial Fisher-Yates over a caller-reused
+ * index array seeded from (seed, iteration, state). */
+void
+sampleIndices(std::size_t total, std::size_t k, uint64_t seed,
+              std::vector<std::size_t> &idx)
 {
-    std::vector<std::size_t> idx(total);
+    idx.resize(total);
     for (std::size_t i = 0; i < total; ++i) {
         idx[i] = i;
     }
@@ -76,7 +29,6 @@ sampleIndices(std::size_t total, std::size_t k, uint64_t seed)
     }
     idx.resize(k);
     std::sort(idx.begin(), idx.end());
-    return idx;
 }
 
 } // namespace
@@ -91,9 +43,12 @@ runBeamSearch(const SearchContext &ctx, const BeamOptions &options)
                    Clock::now() - t0)
             .count();
     };
+    TranspositionCache *cache = ctx.transpositions;
+    uint64_t hits0 = cache ? cache->hits() : 0;
+    uint64_t misses0 = cache ? cache->misses() : 0;
 
     SearchOutcome out(ctx.start);
-    uint64_t best_obj = ctx.objective.evaluate(ctx.start);
+    uint64_t best_obj = cachedEvaluate(ctx.objective, ctx.start, cache);
 
     struct State
     {
@@ -103,8 +58,25 @@ runBeamSearch(const SearchContext &ctx, const BeamOptions &options)
     };
     std::vector<State> beam;
     beam.push_back({ctx.start, best_obj, scheduleKey(ctx.start)});
-    std::unordered_set<uint64_t> visited;
+    FifoKeySet visited(options.visitedWindow);
     visited.insert(beam[0].key);
+
+    // The expansion hot loop never materializes a schedule: candidates
+    // are (parent, move) pairs scored through the incremental state
+    // (probe-before-apply via keyAfter on cache hits), and only the
+    // width winners — plus strict improvements — get copied out.
+    ObjectiveState state(ctx.objective);
+    struct Candidate
+    {
+        std::size_t parent;
+        Move move;
+        uint64_t obj;
+        uint64_t key;
+    };
+    std::vector<Candidate> candidates;
+    std::vector<Move> moves;
+    std::vector<std::size_t> picks;
+    std::vector<State> next_beam;
 
     std::size_t width = std::max<std::size_t>(1, options.width);
     std::size_t stale = 0;
@@ -113,17 +85,17 @@ runBeamSearch(const SearchContext &ctx, const BeamOptions &options)
          !stop && (options.maxIterations == 0 ||
                    iter < options.maxIterations);
          ++iter) {
-        std::vector<State> candidates;
+        candidates.clear();
         uint64_t round_best = best_obj;
         for (std::size_t si = 0; si < beam.size() && !stop; ++si) {
-            std::vector<Move> moves = enumerateMoves(beam[si].sched);
-            std::vector<std::size_t> picks;
+            state.reset(beam[si].sched);
+            enumerateMoves(state.schedule(), moves);
             if (options.maxNeighborsPerState != 0 &&
                 moves.size() > options.maxNeighborsPerState) {
-                picks = sampleIndices(
-                    moves.size(), options.maxNeighborsPerState,
-                    ctx.seed ^ (iter * 0x9e3779b97f4a7c15ULL) ^
-                        (si * 0xbf58476d1ce4e5b9ULL));
+                sampleIndices(moves.size(), options.maxNeighborsPerState,
+                              ctx.seed ^ (iter * 0x9e3779b97f4a7c15ULL) ^
+                                  (si * 0xbf58476d1ce4e5b9ULL),
+                              picks);
             } else {
                 picks.resize(moves.size());
                 for (std::size_t i = 0; i < moves.size(); ++i) {
@@ -140,43 +112,54 @@ runBeamSearch(const SearchContext &ctx, const BeamOptions &options)
                     stop = true;
                     break;
                 }
-                circuit::SmSchedule cand =
-                    applyMove(beam[si].sched, moves[pick]);
                 ++out.stats.expansions;
-                uint64_t obj = ctx.objective.evaluate(cand);
+                const Move &mv = moves[pick];
+                uint64_t key = state.keyAfter(mv);
+                uint64_t obj = 0;
+                if (cache == nullptr || !cache->lookup(key, obj)) {
+                    obj = state.apply(mv);
+                    if (cache != nullptr) {
+                        cache->insert(key, obj);
+                    }
+                    state.undo();
+                }
                 if (obj == kInvalidObjective) {
                     ++out.stats.deadEnds;
                     continue;
                 }
-                uint64_t key = scheduleKey(cand);
-                if (!visited.insert(key).second) {
-                    continue; // already seen this schedule
+                if (!visited.insert(key)) {
+                    continue; // already seen within the window
                 }
                 if (obj < best_obj) {
                     best_obj = obj;
-                    out.schedule = cand;
+                    out.schedule = applyMove(beam[si].sched, mv);
                     if (out.stats.firstImprovementExpansions == 0) {
                         out.stats.firstImprovementExpansions =
                             out.stats.expansions;
                         out.stats.timeToFirstImprovementUs = elapsed_us();
                     }
                 }
-                candidates.push_back({std::move(cand), obj, key});
+                candidates.push_back({si, mv, obj, key});
             }
         }
         if (candidates.empty()) {
             break; // neighborhood exhausted
         }
         std::sort(candidates.begin(), candidates.end(),
-                  [](const State &a, const State &b) {
+                  [](const Candidate &a, const Candidate &b) {
                       return a.obj != b.obj ? a.obj < b.obj
                                             : a.key < b.key;
                   });
         if (candidates.size() > width) {
-            candidates.erase(candidates.begin() + (long)width,
-                             candidates.end());
+            candidates.resize(width);
         }
-        beam = std::move(candidates);
+        next_beam.clear();
+        for (const Candidate &cand : candidates) {
+            next_beam.push_back({applyMove(beam[cand.parent].sched,
+                                           cand.move),
+                                 cand.obj, cand.key});
+        }
+        beam.swap(next_beam);
         if (best_obj < round_best) {
             stale = 0;
         } else if (++stale >= options.patience) {
@@ -186,6 +169,10 @@ runBeamSearch(const SearchContext &ctx, const BeamOptions &options)
 
     out.stats.bestObjective = best_obj;
     out.stats.totalUs = elapsed_us();
+    if (cache != nullptr) {
+        out.stats.transpositionHits = cache->hits() - hits0;
+        out.stats.transpositionMisses = cache->misses() - misses0;
+    }
     return out;
 }
 

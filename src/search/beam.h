@@ -33,6 +33,13 @@ struct BeamOptions
     std::size_t patience = 4;
     /** Hard iteration cap (0 = run until budget/patience). */
     std::size_t maxIterations = 0;
+    /**
+     * FIFO cap on the visited-key dedup set (0 = unbounded). Within the
+     * window dedup is exact; beyond it the oldest keys are forgotten
+     * and may be revisited — bounding memory on long runs. The default
+     * covers any expansion budget the portfolio uses.
+     */
+    std::size_t visitedWindow = std::size_t(1) << 16;
 };
 
 /** Run beam search. Anytime: returns best-so-far on budget expiry. */

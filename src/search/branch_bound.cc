@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "search/incremental.h"
+#include "search/transposition.h"
+
 namespace prophunt::search {
 
 namespace {
@@ -19,13 +22,32 @@ struct BnbDriver
     std::vector<std::size_t> ranked;
     /** sumMinRemaining[t] = sum of minCheckDamage over ranked[t..]. */
     std::vector<uint64_t> sumMinRemaining;
-    /** Working check orders (assigned prefix mutated in place). */
-    std::vector<std::vector<std::size_t>> orders;
-    /** Fixed relative orders from the start schedule. */
-    std::vector<std::vector<std::size_t>> qubitOrders;
+
+    struct Child
+    {
+        std::vector<std::size_t> order;
+        uint64_t damage;
+    };
+    /** Children per tree level, enumerated and sorted once on first
+     * visit instead of at every node of that level (the level's check
+     * and support never change, so neither do its children). */
+    std::vector<std::vector<Child>> childrenAt;
+
+    /** Incremental evaluator; the DFS applies one check order per
+     * descent and undoes it on the way back up. */
+    ObjectiveState state;
+    TranspositionCache *cache = nullptr;
 
     uint64_t incumbentObj = kInvalidObjective;
     bool stop = false;
+
+    BnbDriver(const SearchContext &c, const BnbOptions &o,
+              SearchOutcome &so)
+        : ctx(c), options(o), out(so),
+          t0(std::chrono::steady_clock::now()), state(c.objective),
+          cache(c.transpositions)
+    {
+    }
 
     uint64_t
     elapsedUs() const
@@ -49,48 +71,19 @@ struct BnbDriver
         return stop;
     }
 
-    void
-    visitLeaf(uint64_t /*fixed_damage*/)
+    const std::vector<Child> &
+    childrenFor(std::size_t t)
     {
-        circuit::SmSchedule cand(ctx.start.codePtr(), orders, qubitOrders);
-        uint64_t obj = ctx.objective.evaluate(cand);
-        if (obj == kInvalidObjective) {
-            ++out.stats.deadEnds; // reorders introduced a cycle
-            return;
+        std::vector<Child> &children = childrenAt[t];
+        if (!children.empty()) {
+            return children;
         }
-        if (obj < incumbentObj) {
-            incumbentObj = obj;
-            out.schedule = std::move(cand);
-            if (out.stats.firstImprovementExpansions == 0) {
-                out.stats.firstImprovementExpansions = out.stats.expansions;
-                out.stats.timeToFirstImprovementUs = elapsedUs();
-            }
-        }
-    }
-
-    void
-    descend(std::size_t t, uint64_t fixed_damage)
-    {
-        if (stop) {
-            return;
-        }
-        if (t == ranked.size()) {
-            visitLeaf(fixed_damage);
-            return;
-        }
-        std::size_t check = ranked[t];
-
-        struct Child
-        {
-            std::vector<std::size_t> order;
-            uint64_t damage;
-        };
-        std::vector<Child> children;
-        std::vector<std::size_t> perm = orders[check];
+        std::vector<std::size_t> perm =
+            ctx.start.checkOrder(ranked[t]);
         std::sort(perm.begin(), perm.end());
         do {
             children.push_back(
-                {perm, ctx.objective.checkDamage(check, perm)});
+                {perm, ctx.objective.checkDamage(ranked[t], perm)});
         } while (std::next_permutation(perm.begin(), perm.end()));
         std::sort(children.begin(), children.end(),
                   [](const Child &a, const Child &b) {
@@ -101,9 +94,53 @@ struct BnbDriver
             children.size() > options.maxChildrenPerNode) {
             children.resize(options.maxChildrenPerNode);
         }
+        return children;
+    }
 
-        std::vector<std::size_t> saved = std::move(orders[check]);
-        for (Child &child : children) {
+    void
+    acceptLeaf(uint64_t obj, bool applied, std::size_t check,
+               const std::vector<std::size_t> &order)
+    {
+        if (obj == kInvalidObjective) {
+            ++out.stats.deadEnds; // reorders introduced a cycle
+            return;
+        }
+        if (obj >= incumbentObj) {
+            return;
+        }
+        incumbentObj = obj;
+        if (applied) {
+            out.schedule = state.schedule();
+        } else {
+            // Cache hit skipped the apply; materialize the rare winner.
+            state.applyCheckOrder(check, order);
+            out.schedule = state.schedule();
+            state.undo();
+        }
+        if (out.stats.firstImprovementExpansions == 0) {
+            out.stats.firstImprovementExpansions = out.stats.expansions;
+            out.stats.timeToFirstImprovementUs = elapsedUs();
+        }
+    }
+
+    void
+    descend(std::size_t t, uint64_t fixed_damage)
+    {
+        if (stop) {
+            return;
+        }
+        if (t == ranked.size()) {
+            // Only reachable when no check is permutable: the start
+            // schedule itself is the single leaf.
+            uint64_t obj = state.objective();
+            if (obj == kInvalidObjective) {
+                ++out.stats.deadEnds;
+            }
+            return;
+        }
+        std::size_t check = ranked[t];
+        bool last = t + 1 == ranked.size();
+        for (const Child &child : childrenFor(t)) {
             if (budgetExpired()) {
                 break;
             }
@@ -117,10 +154,27 @@ struct BnbDriver
                 ++out.stats.prunedByBound;
                 continue;
             }
-            orders[check] = std::move(child.order);
+            if (last) {
+                // Leaf: probe the transposition cache before paying the
+                // apply (the key is one XOR re-mix away).
+                uint64_t key = state.keyAfterCheckOrder(check, child.order);
+                uint64_t obj = 0;
+                if (cache != nullptr && cache->lookup(key, obj)) {
+                    acceptLeaf(obj, false, check, child.order);
+                    continue;
+                }
+                obj = state.applyCheckOrder(check, child.order);
+                if (cache != nullptr) {
+                    cache->insert(key, obj);
+                }
+                acceptLeaf(obj, true, check, child.order);
+                state.undo();
+                continue;
+            }
+            state.applyCheckOrder(check, child.order);
             descend(t + 1, damage);
+            state.undo();
         }
-        orders[check] = std::move(saved);
     }
 };
 
@@ -130,24 +184,17 @@ SearchOutcome
 runBranchBound(const SearchContext &ctx, const BnbOptions &options)
 {
     SearchOutcome out(ctx.start);
-    BnbDriver driver{ctx, options, out,
-                     std::chrono::steady_clock::now(), {}, {}, {}, {}};
+    BnbDriver driver(ctx, options, out);
+    uint64_t hits0 = driver.cache ? driver.cache->hits() : 0;
+    uint64_t misses0 = driver.cache ? driver.cache->misses() : 0;
 
     const code::CssCode &code = ctx.start.code();
     std::size_t m = code.numChecks();
-    driver.orders.resize(m);
-    for (std::size_t c = 0; c < m; ++c) {
-        driver.orders[c] = ctx.start.checkOrder(c);
-    }
-    driver.qubitOrders.resize(code.n());
-    for (std::size_t q = 0; q < code.n(); ++q) {
-        driver.qubitOrders[q] = ctx.start.qubitOrder(q);
-    }
 
     // Branch on permutable checks, most damage-sensitive first (ties by
     // index). Single-qubit checks have one permutation — nothing to do.
     for (std::size_t c = 0; c < m; ++c) {
-        if (driver.orders[c].size() >= 2) {
+        if (ctx.start.checkOrder(c).size() >= 2) {
             driver.ranked.push_back(c);
         }
     }
@@ -166,12 +213,19 @@ runBranchBound(const SearchContext &ctx, const BnbOptions &options)
             driver.sumMinRemaining[t + 1] +
             ctx.objective.minCheckDamage(driver.ranked[t]);
     }
+    driver.childrenAt.resize(driver.ranked.size());
 
-    driver.incumbentObj = ctx.objective.evaluate(ctx.start);
+    driver.incumbentObj =
+        cachedEvaluate(ctx.objective, ctx.start, driver.cache);
+    driver.state.reset(ctx.start);
     driver.descend(0, 0);
 
     out.stats.bestObjective = driver.incumbentObj;
     out.stats.totalUs = driver.elapsedUs();
+    if (driver.cache != nullptr) {
+        out.stats.transpositionHits = driver.cache->hits() - hits0;
+        out.stats.transpositionMisses = driver.cache->misses() - misses0;
+    }
     return out;
 }
 

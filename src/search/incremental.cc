@@ -1,0 +1,738 @@
+#include "search/incremental.h"
+
+#include <algorithm>
+
+namespace prophunt::search {
+
+void
+enumerateMoves(const circuit::SmSchedule &sched, std::vector<Move> &out)
+{
+    out.clear();
+    const code::CssCode &code = sched.code();
+    for (std::size_t check = 0; check < code.numChecks(); ++check) {
+        std::size_t w = sched.checkOrder(check).size();
+        for (std::size_t from = 0; from < w; ++from) {
+            for (std::size_t before = 0; before <= w; ++before) {
+                if (before == from || before == from + 1) {
+                    continue; // no-op positions
+                }
+                out.push_back({Move::Kind::Reorder, check, from, before});
+            }
+        }
+    }
+    for (std::size_t q = 0; q < code.n(); ++q) {
+        const auto &order = sched.qubitOrder(q);
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            for (std::size_t j = i + 1; j < order.size(); ++j) {
+                out.push_back(
+                    {Move::Kind::RelativeSwap, q, order[i], order[j]});
+            }
+        }
+    }
+}
+
+circuit::SmSchedule
+applyMove(const circuit::SmSchedule &sched, const Move &move)
+{
+    if (move.kind == Move::Kind::Reorder) {
+        return sched.withReorder(move.a, move.b, move.c);
+    }
+    return sched.withRelativeSwap(move.a, move.b, move.c);
+}
+
+uint64_t
+cachedEvaluate(const ScheduleObjective &objective,
+               const circuit::SmSchedule &schedule,
+               TranspositionCache *cache)
+{
+    if (cache == nullptr || !cache->enabled()) {
+        return objective.evaluate(schedule);
+    }
+    uint64_t key = scheduleKey(schedule);
+    uint64_t obj = 0;
+    if (cache->lookup(key, obj)) {
+        return obj;
+    }
+    obj = objective.evaluate(schedule);
+    cache->insert(key, obj);
+    return obj;
+}
+
+// ---------------------------------------------------------------------------
+// Node helpers. Node ids are (check, position-in-check) slots laid out
+// contiguously per check, so the chain predecessor/successor of a node
+// is just node -/+ 1 within its check's range; the qubit
+// predecessor/successor is the neighboring slot in qnodes_.
+
+uint32_t
+ObjectiveState::chainSucc(uint32_t v) const
+{
+    std::size_t c = checkOf_[v];
+    return (std::size_t)v + 1 < base_[c + 1] ? v + 1 : kNone;
+}
+
+uint32_t
+ObjectiveState::qubitSucc(uint32_t v) const
+{
+    const auto &qn = qnodes_[qubitOf_[v]];
+    uint32_t qi = qindex_[v];
+    return (std::size_t)qi + 1 < qn.size() ? qn[qi + 1] : kNone;
+}
+
+std::size_t
+ObjectiveState::computeLevelOf(uint32_t v) const
+{
+    std::size_t lvl = 0;
+    if ((std::size_t)v > base_[checkOf_[v]]) {
+        lvl = (std::size_t)level_[v - 1] + 1;
+    }
+    uint32_t qi = qindex_[v];
+    if (qi > 0) {
+        uint32_t u = qnodes_[qubitOf_[v]][qi - 1];
+        lvl = std::max(lvl, (std::size_t)level_[u] + 1);
+    }
+    return lvl;
+}
+
+// ---------------------------------------------------------------------------
+// Journaling. Each cell is value-journaled at most once per move
+// (epoch guard), so undo can restore in any order within a frame.
+
+void
+ObjectiveState::recordLevel(uint32_t v)
+{
+    if (levelEpoch_[v] != epoch_) {
+        levelEpoch_[v] = epoch_;
+        levelJournal_.push_back({v, level_[v]});
+    }
+}
+
+void
+ObjectiveState::recordEscape(uint32_t v)
+{
+    if (escapeEpoch_[v] != epoch_) {
+        escapeEpoch_[v] = epoch_;
+        escapeJournal_.push_back({v, escaped_[v]});
+    }
+}
+
+void
+ObjectiveState::markDirtyQubit(std::size_t q)
+{
+    if (qubitEpoch_[q] != epoch_) {
+        qubitEpoch_[q] = epoch_;
+        dirtyQubits_.push_back((uint32_t)q);
+    }
+}
+
+void
+ObjectiveState::seed(uint32_t v)
+{
+    if (v != kNone && !inPending_[v]) {
+        inPending_[v] = 1;
+        pending_.push_back(v);
+    }
+}
+
+void
+ObjectiveState::clearPending()
+{
+    for (uint32_t v : pending_) {
+        inPending_[v] = 0;
+    }
+    pending_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Timestep repair.
+
+bool
+ObjectiveState::repairLevels()
+{
+    while (!pending_.empty()) {
+        uint32_t v = pending_.back();
+        pending_.pop_back();
+        inPending_[v] = 0;
+        std::size_t nl = computeLevelOf(v);
+        if (nl == level_[v]) {
+            continue;
+        }
+        if (nl >= numNodes_) {
+            // A longest path can't exceed numNodes_ - 1 in a DAG; the
+            // worklist pumped a level around a cycle.
+            cycle_ = true;
+            clearPending();
+            return false;
+        }
+        recordLevel(v);
+        level_[v] = (uint32_t)nl;
+        markDirtyQubit(qubitOf_[v]);
+        seed(chainSucc(v));
+        seed(qubitSucc(v));
+    }
+    return true;
+}
+
+void
+ObjectiveState::fullRelevel()
+{
+    clearPending();
+    indeg_.assign(numNodes_, 0);
+    for (uint32_t v = 0; v < (uint32_t)numNodes_; ++v) {
+        uint32_t cs = chainSucc(v);
+        if (cs != kNone) {
+            ++indeg_[cs];
+        }
+        uint32_t qs = qubitSucc(v);
+        if (qs != kNone) {
+            ++indeg_[qs];
+        }
+    }
+    kahnQueue_.clear();
+    for (uint32_t v = 0; v < (uint32_t)numNodes_; ++v) {
+        if (indeg_[v] == 0) {
+            kahnQueue_.push_back(v);
+        }
+    }
+    std::size_t processed = 0;
+    while (!kahnQueue_.empty()) {
+        uint32_t v = kahnQueue_.back();
+        kahnQueue_.pop_back();
+        ++processed;
+        std::size_t nl = computeLevelOf(v);
+        if (nl != level_[v]) {
+            recordLevel(v);
+            level_[v] = (uint32_t)nl;
+        }
+        uint32_t cs = chainSucc(v);
+        if (cs != kNone && --indeg_[cs] == 0) {
+            kahnQueue_.push_back(cs);
+        }
+        uint32_t qs = qubitSucc(v);
+        if (qs != kNone && --indeg_[qs] == 0) {
+            kahnQueue_.push_back(qs);
+        }
+    }
+    cycle_ = processed != numNodes_;
+}
+
+// ---------------------------------------------------------------------------
+// Escape + depth.
+
+void
+ObjectiveState::recomputeEscapesOn(std::size_t q)
+{
+    const auto &qn = qnodes_[q];
+    for (uint32_t v : qn) {
+        std::size_t c = checkOf_[v];
+        if ((std::size_t)v == base_[c]) {
+            continue; // first CNOT of a check never escapes (j >= 1 only)
+        }
+        uint32_t landed = level_[v];
+        uint8_t esc = 1;
+        for (uint32_t u : qn) {
+            if (u == v || isX_[checkOf_[u]] == isX_[c]) {
+                continue;
+            }
+            if (level_[u] > landed) {
+                esc = 0; // an opposite-type check reads q afterwards
+                break;
+            }
+        }
+        if (esc != escaped_[v]) {
+            recordEscape(v);
+            escapeTotal_ += esc;
+            escapeTotal_ -= escaped_[v];
+            escaped_[v] = esc;
+        }
+    }
+}
+
+void
+ObjectiveState::recomputeDepth()
+{
+    uint32_t max_level = 0;
+    for (uint32_t lvl : level_) {
+        max_level = std::max(max_level, lvl);
+    }
+    depth_ = numNodes_ == 0 ? 0 : (std::size_t)max_level + 1;
+}
+
+// ---------------------------------------------------------------------------
+// Commutation parity.
+
+void
+ObjectiveState::flipPair(std::size_t u, std::size_t v, bool journal)
+{
+    bool ux = isX_[u] != 0;
+    bool vx = isX_[v] != 0;
+    if (ux == vx) {
+        return; // same-type pairs don't constrain commutation
+    }
+    std::size_t cx = ux ? u : v;
+    std::size_t cz = ux ? v : u;
+    std::size_t bit = cx * numZ_ + (cz - mx_);
+    uint64_t mask = uint64_t(1) << (bit & 63);
+    uint64_t &word = parity_[bit >> 6];
+    oddPairs_ += (word & mask) ? -1 : 1;
+    word ^= mask;
+    if (journal) {
+        parityJournal_.push_back(bit);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Order mutation + node-map remap (shared by apply and undo). The slot
+// of a (check, qubit) pair within the qubit's order is invariant under
+// reorders, so the remap reads each segment qubit's slot from the old
+// node map, then rebinds it to the new node occupying that position.
+
+std::size_t
+ObjectiveState::reorderAndRemap(std::size_t check, std::size_t from_pos,
+                                std::size_t before_pos)
+{
+    std::size_t dest = sched_->applyReorder(check, from_pos, before_pos);
+    const auto &order = sched_->checkOrder(check);
+    std::size_t lo = std::min(from_pos, dest);
+    std::size_t hi = std::max(from_pos, dest);
+    std::size_t b = base_[check];
+    for (std::size_t p = lo; p <= hi; ++p) {
+        uint32_t v = (uint32_t)(b + p);
+        qSlotScratch_[qubitOf_[v]] = qindex_[v];
+    }
+    for (std::size_t p = lo; p <= hi; ++p) {
+        uint32_t v = (uint32_t)(b + p);
+        std::size_t q = order[p];
+        uint32_t qi = qSlotScratch_[q];
+        qubitOf_[v] = (uint32_t)q;
+        qindex_[v] = qi;
+        qnodes_[q][qi] = v;
+    }
+    return dest;
+}
+
+void
+ObjectiveState::swapAndRemap(std::size_t qubit, std::size_t pos_a,
+                             std::size_t pos_b)
+{
+    sched_->applySwapAt(qubit, pos_a, pos_b);
+    auto &qn = qnodes_[qubit];
+    std::swap(qn[pos_a], qn[pos_b]);
+    qindex_[qn[pos_a]] = (uint32_t)pos_a;
+    qindex_[qn[pos_b]] = (uint32_t)pos_b;
+}
+
+void
+ObjectiveState::setOrderAndRemap(std::size_t check,
+                                 std::vector<std::size_t> order)
+{
+    std::size_t b = base_[check];
+    std::size_t w = order.size();
+    for (std::size_t p = 0; p < w; ++p) {
+        uint32_t v = (uint32_t)(b + p);
+        qSlotScratch_[qubitOf_[v]] = qindex_[v];
+    }
+    sched_->setCheckOrder(check, std::move(order));
+    const auto &o = sched_->checkOrder(check);
+    for (std::size_t p = 0; p < w; ++p) {
+        uint32_t v = (uint32_t)(b + p);
+        std::size_t q = o[p];
+        uint32_t qi = qSlotScratch_[q];
+        qubitOf_[v] = (uint32_t)q;
+        qindex_[v] = qi;
+        qnodes_[q][qi] = v;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// reset: full from-scratch load.
+
+void
+ObjectiveState::reset(const circuit::SmSchedule &schedule)
+{
+    sched_.emplace(schedule);
+    const code::CssCode &code = schedule.code();
+    m_ = code.numChecks();
+    n_ = code.n();
+    mx_ = code.numXChecks();
+    numZ_ = m_ - mx_;
+
+    base_.assign(m_ + 1, 0);
+    for (std::size_t c = 0; c < m_; ++c) {
+        base_[c + 1] = base_[c] + schedule.checkOrder(c).size();
+    }
+    numNodes_ = base_[m_];
+
+    checkOf_.assign(numNodes_, 0);
+    qubitOf_.assign(numNodes_, 0);
+    isX_.assign(m_, 0);
+    for (std::size_t c = 0; c < m_; ++c) {
+        isX_[c] = code.isXCheck(c) ? 1 : 0;
+        const auto &order = schedule.checkOrder(c);
+        for (std::size_t k = 0; k < order.size(); ++k) {
+            checkOf_[base_[c] + k] = (uint32_t)c;
+            qubitOf_[base_[c] + k] = (uint32_t)order[k];
+        }
+    }
+    qnodes_.assign(n_, {});
+    qindex_.assign(numNodes_, 0);
+    for (std::size_t q = 0; q < n_; ++q) {
+        const auto &qorder = schedule.qubitOrder(q);
+        qnodes_[q].reserve(qorder.size());
+        for (std::size_t c : qorder) {
+            uint32_t v = (uint32_t)(base_[c] + schedule.posInCheck(c, q));
+            qindex_[v] = (uint32_t)qnodes_[q].size();
+            qnodes_[q].push_back(v);
+        }
+    }
+
+    // Scratch + journals.
+    epoch_ = 0;
+    pending_.clear();
+    inPending_.assign(numNodes_, 0);
+    levelEpoch_.assign(numNodes_, 0);
+    escapeEpoch_.assign(numNodes_, 0);
+    qubitEpoch_.assign(n_, 0);
+    dirtyQubits_.clear();
+    qSlotScratch_.assign(n_, 0);
+    frames_.clear();
+    levelJournal_.clear();
+    escapeJournal_.clear();
+    parityJournal_.clear();
+    orderPool_.clear();
+
+    // Levels (full Kahn; detects cycles).
+    level_.assign(numNodes_, 0);
+    ++epoch_;
+    fullRelevel();
+    stale_ = cycle_;
+
+    // Commutation parity: one bit per X/Z pair, set iff the pair
+    // crosses (X CNOT before Z CNOT) on an odd number of shared qubits.
+    parity_.assign((mx_ * numZ_ + 63) / 64, 0);
+    oddPairs_ = 0;
+    for (std::size_t q = 0; q < n_; ++q) {
+        const auto &qorder = schedule.qubitOrder(q);
+        for (std::size_t i = 0; i < qorder.size(); ++i) {
+            for (std::size_t j = i + 1; j < qorder.size(); ++j) {
+                if (isX_[qorder[i]] && !isX_[qorder[j]]) {
+                    flipPair(qorder[i], qorder[j], false);
+                }
+            }
+        }
+    }
+
+    // Per-check damage and the component sub-hashes.
+    damage_.assign(m_, 0);
+    checkHash_.assign(m_, 0);
+    qubitHash_.assign(n_, 0);
+    hookTotal_ = 0;
+    key_ = 0;
+    for (std::size_t c = 0; c < m_; ++c) {
+        damage_[c] = obj_.checkDamage(c, schedule.checkOrder(c));
+        hookTotal_ += damage_[c];
+        checkHash_[c] = checkOrderHash(c, schedule.checkOrder(c));
+        key_ ^= checkHash_[c];
+    }
+    for (std::size_t q = 0; q < n_; ++q) {
+        qubitHash_[q] = qubitOrderHash(q, schedule.qubitOrder(q));
+        key_ ^= qubitHash_[q];
+    }
+
+    // Escapes + depth (meaningful only while acyclic).
+    escaped_.assign(numNodes_, 0);
+    escapeTotal_ = 0;
+    depth_ = 0;
+    if (!cycle_) {
+        for (std::size_t q = 0; q < n_; ++q) {
+            recomputeEscapesOn(q);
+        }
+        recomputeDepth();
+    }
+    levelJournal_.clear();
+    escapeJournal_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Apply / undo.
+
+void
+ObjectiveState::beginMove(Frame &frame, Frame::Op op)
+{
+    ++epoch_;
+    dirtyQubits_.clear();
+    frame.op = op;
+    frame.key = key_;
+    frame.hookTotal = hookTotal_;
+    frame.escapeTotal = escapeTotal_;
+    frame.depth = depth_;
+    frame.oddPairs = oddPairs_;
+    frame.cycle = cycle_;
+    frame.stale = stale_;
+    frame.levelMark = levelJournal_.size();
+    frame.escapeMark = escapeJournal_.size();
+    frame.parityMark = parityJournal_.size();
+}
+
+uint64_t
+ObjectiveState::finishApply(Frame frame)
+{
+    if (stale_) {
+        // Levels have been unusable since a cycle appeared; run the
+        // journaled no-allocation Kahn pass. On recovery every qubit is
+        // treated dirty — escapes were frozen while the state was
+        // invalid.
+        fullRelevel();
+        if (!cycle_) {
+            stale_ = false;
+            for (std::size_t q = 0; q < n_; ++q) {
+                recomputeEscapesOn(q);
+            }
+            recomputeDepth();
+        }
+    } else if (repairLevels()) {
+        for (uint32_t q : dirtyQubits_) {
+            recomputeEscapesOn(q);
+        }
+        recomputeDepth();
+    } else {
+        stale_ = true; // repairLevels found a cycle
+    }
+    frames_.push_back(frame);
+    return objective();
+}
+
+uint64_t
+ObjectiveState::apply(const Move &move)
+{
+    if (move.kind == Move::Kind::Reorder) {
+        return applyReorder(move.a, move.b, move.c);
+    }
+    return applyRelativeSwap(move.a, move.b, move.c);
+}
+
+uint64_t
+ObjectiveState::applyReorder(std::size_t check, std::size_t from_pos,
+                             std::size_t before_pos)
+{
+    Frame frame;
+    beginMove(frame, Frame::Op::Reorder);
+    frame.oldDamage = damage_[check];
+    frame.oldSubHash = checkHash_[check];
+
+    std::size_t dest = reorderAndRemap(check, from_pos, before_pos);
+    frame.a = check;
+    frame.b = dest;
+    frame.c = from_pos < dest ? from_pos : from_pos + 1;
+
+    const auto &order = sched_->checkOrder(check);
+    uint64_t nh = checkOrderHash(check, order);
+    key_ ^= frame.oldSubHash ^ nh;
+    checkHash_[check] = nh;
+    uint64_t nd = obj_.checkDamage(check, order);
+    hookTotal_ += nd;
+    hookTotal_ -= frame.oldDamage;
+    damage_[check] = nd;
+
+    std::size_t lo = std::min(from_pos, dest);
+    std::size_t hi = std::max(from_pos, dest);
+    for (std::size_t p = lo; p <= hi; ++p) {
+        uint32_t v = (uint32_t)(base_[check] + p);
+        seed(v);
+        seed(qubitSucc(v));
+        markDirtyQubit(order[p]);
+    }
+    return finishApply(frame);
+}
+
+uint64_t
+ObjectiveState::applyRelativeSwap(std::size_t qubit, std::size_t check_a,
+                                  std::size_t check_b)
+{
+    Frame frame;
+    beginMove(frame, Frame::Op::Swap);
+    frame.oldSubHash = qubitHash_[qubit];
+
+    const auto &qorder = sched_->qubitOrder(qubit);
+    std::size_t ia = sched_->posOnQubit(qubit, check_a);
+    std::size_t ib = sched_->posOnQubit(qubit, check_b);
+    if (ia > ib) {
+        std::swap(ia, ib);
+    }
+    frame.a = qubit;
+    frame.b = ia;
+    frame.c = ib;
+
+    // Crossing parity flips for every opposite-type pair whose relative
+    // order on this qubit flips: the endpoints against everything
+    // strictly between them, plus the endpoint pair itself.
+    std::size_t ca = qorder[ia];
+    std::size_t cb = qorder[ib];
+    for (std::size_t p = ia + 1; p < ib; ++p) {
+        flipPair(ca, qorder[p], true);
+        flipPair(qorder[p], cb, true);
+    }
+    flipPair(ca, cb, true);
+
+    swapAndRemap(qubit, ia, ib);
+
+    uint64_t nh = qubitOrderHash(qubit, sched_->qubitOrder(qubit));
+    key_ ^= frame.oldSubHash ^ nh;
+    qubitHash_[qubit] = nh;
+
+    const auto &qn = qnodes_[qubit];
+    seed(qn[ia]);
+    seed(qn[ib]);
+    if (ia + 1 < qn.size()) {
+        seed(qn[ia + 1]);
+    }
+    if (ib + 1 < qn.size()) {
+        seed(qn[ib + 1]);
+    }
+    markDirtyQubit(qubit);
+    return finishApply(frame);
+}
+
+uint64_t
+ObjectiveState::applyCheckOrder(std::size_t check,
+                                const std::vector<std::size_t> &order)
+{
+    Frame frame;
+    beginMove(frame, Frame::Op::SetOrder);
+    frame.oldDamage = damage_[check];
+    frame.oldSubHash = checkHash_[check];
+    frame.a = check;
+    frame.b = orderPool_.size();
+    frame.c = order.size();
+
+    const auto &old_order = sched_->checkOrder(check);
+    orderPool_.insert(orderPool_.end(), old_order.begin(),
+                      old_order.end());
+    setOrderAndRemap(check, order);
+
+    const auto &o = sched_->checkOrder(check);
+    uint64_t nh = checkOrderHash(check, o);
+    key_ ^= frame.oldSubHash ^ nh;
+    checkHash_[check] = nh;
+    uint64_t nd = obj_.checkDamage(check, o);
+    hookTotal_ += nd;
+    hookTotal_ -= frame.oldDamage;
+    damage_[check] = nd;
+
+    for (std::size_t p = 0; p < o.size(); ++p) {
+        uint32_t v = (uint32_t)(base_[check] + p);
+        seed(v);
+        seed(qubitSucc(v));
+        markDirtyQubit(o[p]);
+    }
+    return finishApply(frame);
+}
+
+void
+ObjectiveState::undo()
+{
+    Frame frame = frames_.back();
+    frames_.pop_back();
+
+    while (levelJournal_.size() > frame.levelMark) {
+        const LevelEntry &e = levelJournal_.back();
+        level_[e.node] = e.level;
+        levelJournal_.pop_back();
+    }
+    while (escapeJournal_.size() > frame.escapeMark) {
+        const EscapeEntry &e = escapeJournal_.back();
+        escaped_[e.node] = e.escaped;
+        escapeJournal_.pop_back();
+    }
+    while (parityJournal_.size() > frame.parityMark) {
+        std::size_t bit = parityJournal_.back();
+        parityJournal_.pop_back();
+        parity_[bit >> 6] ^= uint64_t(1) << (bit & 63);
+    }
+
+    switch (frame.op) {
+    case Frame::Op::Reorder:
+        reorderAndRemap(frame.a, frame.b, frame.c);
+        damage_[frame.a] = frame.oldDamage;
+        checkHash_[frame.a] = frame.oldSubHash;
+        break;
+    case Frame::Op::Swap:
+        swapAndRemap(frame.a, frame.b, frame.c);
+        qubitHash_[frame.a] = frame.oldSubHash;
+        break;
+    case Frame::Op::SetOrder: {
+        std::vector<std::size_t> old(
+            orderPool_.begin() + (long)frame.b,
+            orderPool_.begin() + (long)(frame.b + frame.c));
+        orderPool_.resize(frame.b);
+        setOrderAndRemap(frame.a, std::move(old));
+        damage_[frame.a] = frame.oldDamage;
+        checkHash_[frame.a] = frame.oldSubHash;
+        break;
+    }
+    }
+
+    key_ = frame.key;
+    hookTotal_ = frame.hookTotal;
+    escapeTotal_ = frame.escapeTotal;
+    depth_ = frame.depth;
+    oddPairs_ = frame.oddPairs;
+    cycle_ = frame.cycle;
+    stale_ = frame.stale;
+}
+
+// ---------------------------------------------------------------------------
+// Reads.
+
+uint64_t
+ObjectiveState::objective() const
+{
+    return ScheduleObjective::pack(terms());
+}
+
+ObjectiveTerms
+ObjectiveState::terms() const
+{
+    ObjectiveTerms t;
+    if (cycle_ || oddPairs_ != 0) {
+        return t; // zeros + valid=false, matching the oracle
+    }
+    t.valid = true;
+    t.hookAlignment = hookTotal_;
+    t.sameRoundEscape = escapeTotal_;
+    t.depth = depth_;
+    return t;
+}
+
+uint64_t
+ObjectiveState::keyAfter(const Move &move) const
+{
+    if (move.kind == Move::Kind::Reorder) {
+        keyScratch_ = sched_->checkOrder(move.a);
+        std::size_t q = keyScratch_[move.b];
+        keyScratch_.erase(keyScratch_.begin() + (long)move.b);
+        std::size_t dest = move.c - (move.b < move.c ? 1 : 0);
+        keyScratch_.insert(keyScratch_.begin() + (long)dest, q);
+        return key_ ^ checkHash_[move.a] ^
+               checkOrderHash(move.a, keyScratch_);
+    }
+    keyScratch_ = sched_->qubitOrder(move.a);
+    for (std::size_t &c : keyScratch_) {
+        if (c == move.b) {
+            c = move.c;
+        } else if (c == move.c) {
+            c = move.b;
+        }
+    }
+    return key_ ^ qubitHash_[move.a] ^
+           qubitOrderHash(move.a, keyScratch_);
+}
+
+uint64_t
+ObjectiveState::keyAfterCheckOrder(
+    std::size_t check, const std::vector<std::size_t> &order) const
+{
+    return key_ ^ checkHash_[check] ^ checkOrderHash(check, order);
+}
+
+} // namespace prophunt::search

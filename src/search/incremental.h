@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Incremental evaluation of the propagation-weight objective: the
+ * search hot loop's apply/undo state.
+ *
+ * Every strategy expansion used to pay O(full schedule): a deep
+ * SmSchedule copy, a from-scratch Kahn layering, an all-checks damage
+ * sweep, a readTime rebuild for same-round escape, and a full re-hash
+ * for the dedup key. ObjectiveState replaces that with move-scoped
+ * deltas:
+ *
+ *  - **Damage** is separable per check, so a reorder re-scores exactly
+ *    one check and a relative swap none.
+ *  - **Timesteps** are repaired by a worklist over the dependency cone
+ *    of the move. Each CNOT node has at most two predecessors (previous
+ *    CNOT of its check, previous CNOT on its data qubit), so the
+ *    repair touches only nodes whose longest path actually changed. A
+ *    level pumped past the node count proves a precedence cycle.
+ *  - **Escape** of a CNOT depends only on the timesteps of the CNOTs
+ *    sharing its data qubit, so only "dirty" qubits — those in the
+ *    move's segment or holding a relevelled node — are re-scanned.
+ *  - **Commutation parity** is a bit per X/Z check pair; a relative
+ *    swap flips exactly the pairs whose relative order on that qubit
+ *    flipped, and reorders never touch it.
+ *  - **The schedule key** is the XOR of per-component sub-hashes
+ *    (search/objective.h), so a move re-mixes one component — and
+ *    keyAfter() prices a candidate's key *without applying it*, which
+ *    is what makes probe-before-apply transposition caching free.
+ *
+ * Undo is exact, by journaling: every level/escape/parity cell is
+ * value-journaled on first touch per move, scalars are snapshotted per
+ * frame, and the order mutation is inverted structurally. While a
+ * schedule is cyclic the layering is unusable; the state goes *stale*
+ * and each subsequent apply runs a full (allocation-free, journaled)
+ * Kahn pass until acyclicity returns — B&B descends through such
+ * states, since a later check's permutation can break the cycle.
+ *
+ * evaluateTerms stays the bit-identical reference oracle;
+ * tests/search_incremental_test.cc fuzzes the equivalence over random
+ * apply/undo sequences.
+ */
+#ifndef PROPHUNT_SEARCH_INCREMENTAL_H
+#define PROPHUNT_SEARCH_INCREMENTAL_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "circuit/schedule.h"
+#include "search/objective.h"
+#include "search/transposition.h"
+
+namespace prophunt::search {
+
+/** One schedule move: the optimizer's two change families. */
+struct Move
+{
+    enum class Kind { Reorder, RelativeSwap };
+    Kind kind = Kind::Reorder;
+    std::size_t a = 0; // check (reorder) / qubit (swap)
+    std::size_t b = 0; // from_pos / check_a
+    std::size_t c = 0; // before_pos / check_b
+};
+
+/** All single moves of a schedule, in a fixed deterministic order,
+ * into a caller-reused buffer (cleared first). */
+void enumerateMoves(const circuit::SmSchedule &sched,
+                    std::vector<Move> &out);
+
+/** Copying application of one move (the pre-incremental path; still
+ * used to materialize winners and as the fuzz/bench reference). */
+circuit::SmSchedule applyMove(const circuit::SmSchedule &sched,
+                              const Move &move);
+
+/** Evaluate through the transposition cache: probe by scheduleKey,
+ * fall back to the oracle and insert on miss. cache == nullptr (or
+ * disabled) degrades to a plain evaluate. */
+uint64_t cachedEvaluate(const ScheduleObjective &objective,
+                        const circuit::SmSchedule &schedule,
+                        TranspositionCache *cache);
+
+/**
+ * Reusable incremental evaluator. reset() loads a schedule from
+ * scratch; apply*() mutates it in place, returning the new packed
+ * objective (kInvalidObjective for unschedulable or
+ * commutation-breaking states) and pushing an undo frame; undo() pops
+ * one frame exactly. No allocation on the apply/undo path once the
+ * internal buffers are warm.
+ */
+class ObjectiveState
+{
+  public:
+    explicit ObjectiveState(const ScheduleObjective &objective)
+        : obj_(objective)
+    {
+    }
+
+    /** Load @p schedule from scratch, clearing the undo stack. */
+    void reset(const circuit::SmSchedule &schedule);
+
+    uint64_t apply(const Move &move);
+    uint64_t applyReorder(std::size_t check, std::size_t from_pos,
+                          std::size_t before_pos);
+    uint64_t applyRelativeSwap(std::size_t qubit, std::size_t check_a,
+                               std::size_t check_b);
+    /** Replace one check's CNOT order (B&B child assignment). @p order
+     * must be a permutation of the current order. */
+    uint64_t applyCheckOrder(std::size_t check,
+                             const std::vector<std::size_t> &order);
+
+    /** Revert the most recent un-undone apply. Exact: the state is
+     * bit-identical to before that apply. */
+    void undo();
+    /** Number of applies available to undo. */
+    std::size_t framesApplied() const { return frames_.size(); }
+
+    /** Packed objective of the current schedule. */
+    uint64_t objective() const;
+    /** Term breakdown (zeros + valid=false when invalid, matching the
+     * oracle). */
+    ObjectiveTerms terms() const;
+    /** Dedup/tie-break key of the current schedule (== scheduleKey). */
+    uint64_t key() const { return key_; }
+    bool valid() const { return !cycle_ && oddPairs_ == 0; }
+    const circuit::SmSchedule &schedule() const { return *sched_; }
+
+    /** Key the schedule would have after @p move, without applying it —
+     * the probe-before-apply entry point of the transposition cache. */
+    uint64_t keyAfter(const Move &move) const;
+    /** Same for a full check-order replacement. */
+    uint64_t keyAfterCheckOrder(std::size_t check,
+                                const std::vector<std::size_t> &order) const;
+
+  private:
+    static constexpr uint32_t kNone = UINT32_MAX;
+
+    struct LevelEntry
+    {
+        uint32_t node;
+        uint32_t level;
+    };
+    struct EscapeEntry
+    {
+        uint32_t node;
+        uint8_t escaped;
+    };
+    /** Undo frame: scalar snapshot + journal watermarks + the inverse
+     * order operation. */
+    struct Frame
+    {
+        enum class Op : uint8_t { Reorder, Swap, SetOrder };
+        Op op;
+        std::size_t a = 0; // check / qubit
+        std::size_t b = 0; // inverse from_pos / pos_a / pool offset
+        std::size_t c = 0; // inverse before_pos / pos_b / order length
+        uint64_t key = 0;
+        uint64_t hookTotal = 0;
+        uint64_t escapeTotal = 0;
+        std::size_t depth = 0;
+        std::size_t oddPairs = 0;
+        bool cycle = false;
+        bool stale = false;
+        uint64_t oldDamage = 0;
+        uint64_t oldSubHash = 0;
+        std::size_t levelMark = 0;
+        std::size_t escapeMark = 0;
+        std::size_t parityMark = 0;
+    };
+
+    uint32_t chainSucc(uint32_t v) const;
+    uint32_t qubitSucc(uint32_t v) const;
+    std::size_t computeLevelOf(uint32_t v) const;
+
+    void beginMove(Frame &frame, Frame::Op op);
+    uint64_t finishApply(Frame frame);
+    void seed(uint32_t v);
+    void clearPending();
+    void markDirtyQubit(std::size_t q);
+    void recordLevel(uint32_t v);
+    void recordEscape(uint32_t v);
+    bool repairLevels();
+    void fullRelevel();
+    void recomputeEscapesOn(std::size_t q);
+    void recomputeDepth();
+    void flipPair(std::size_t u, std::size_t v, bool journal);
+
+    /** Order mutation + node-map remap, shared by apply and undo.
+     * Returns the moved qubit's destination position. */
+    std::size_t reorderAndRemap(std::size_t check, std::size_t from_pos,
+                                std::size_t before_pos);
+    void swapAndRemap(std::size_t qubit, std::size_t pos_a,
+                      std::size_t pos_b);
+    void setOrderAndRemap(std::size_t check,
+                          std::vector<std::size_t> order);
+
+    const ScheduleObjective &obj_;
+    std::optional<circuit::SmSchedule> sched_;
+
+    std::size_t m_ = 0;
+    std::size_t n_ = 0;
+    std::size_t mx_ = 0;
+    std::size_t numZ_ = 0;
+    std::size_t numNodes_ = 0;
+    std::vector<std::size_t> base_;   // base_[c] = first node id of check c
+    std::vector<uint32_t> checkOf_;   // node -> check
+    std::vector<uint32_t> qubitOf_;   // node -> data qubit
+    std::vector<uint32_t> level_;     // node -> timestep
+    std::vector<uint8_t> escaped_;    // node -> same-round escape (k>=1)
+    std::vector<uint32_t> qindex_;    // node -> slot in its qubit's order
+    std::vector<std::vector<uint32_t>> qnodes_; // qubit -> nodes in order
+    std::vector<uint8_t> isX_;        // check -> X type
+    std::vector<uint64_t> damage_;    // check -> hook damage
+    std::vector<uint64_t> checkHash_; // per-component sub-hashes
+    std::vector<uint64_t> qubitHash_;
+    std::vector<uint64_t> parity_;    // X/Z pair crossing-parity bits
+    std::size_t oddPairs_ = 0;
+
+    uint64_t key_ = 0;
+    uint64_t hookTotal_ = 0;
+    uint64_t escapeTotal_ = 0;
+    std::size_t depth_ = 0;
+    bool cycle_ = false;
+    /** Levels unusable since a cycle appeared; applies run fullRelevel
+     * until acyclicity returns. */
+    bool stale_ = false;
+
+    std::vector<LevelEntry> levelJournal_;
+    std::vector<EscapeEntry> escapeJournal_;
+    std::vector<uint64_t> parityJournal_;
+    std::vector<std::size_t> orderPool_;
+    std::vector<Frame> frames_;
+
+    // Per-move scratch (epoch-guarded; no clearing between moves).
+    uint32_t epoch_ = 0;
+    std::vector<uint32_t> pending_;
+    std::vector<uint8_t> inPending_;
+    std::vector<uint32_t> levelEpoch_;
+    std::vector<uint32_t> escapeEpoch_;
+    std::vector<uint32_t> qubitEpoch_;
+    std::vector<uint32_t> dirtyQubits_;
+    std::vector<uint32_t> qSlotScratch_;
+    std::vector<uint8_t> indeg_;
+    std::vector<uint32_t> kahnQueue_;
+    mutable std::vector<std::size_t> keyScratch_;
+};
+
+} // namespace prophunt::search
+
+#endif // PROPHUNT_SEARCH_INCREMENTAL_H

@@ -67,41 +67,52 @@ ScheduleObjective::ScheduleObjective(
 
     minDamage_.assign(m, kInvalidObjective);
     maxDamage_.assign(m, kInvalidObjective);
+
+    // Per-check damage rows: full[r] depends only on the check's support
+    // (every order checkDamage sees is a permutation of it), so memoize
+    // it once and drop rows whose full overlap can never reach 2.
+    damageRows_.resize(m);
+    for (std::size_t c = 0; c < m; ++c) {
+        const auto &masks = logicalMask_[errorFamily(*code_, c)];
+        std::vector<std::size_t> support = code_->checkSupport(c);
+        for (const auto &mask : masks) {
+            uint64_t full = 0;
+            for (std::size_t q : support) {
+                full += mask[q];
+            }
+            if (full >= 2) {
+                damageRows_[c].push_back({mask.data(), full});
+            }
+        }
+    }
 }
 
 uint64_t
 ScheduleObjective::checkDamage(std::size_t check,
                                const std::vector<std::size_t> &order) const
 {
-    const auto &masks = logicalMask_[errorFamily(*code_, check)];
-    if (masks.empty() || order.size() < 2) {
+    const auto &rows = damageRows_[check];
+    if (rows.empty() || order.size() < 2) {
         return 0;
     }
     std::size_t w = order.size();
     uint64_t total = 0;
     // overlap[r] tracks |prefix(k) ∩ L_r|; the suffix overlap is the
-    // row's full-support overlap minus it.
-    std::vector<std::size_t> overlap(masks.size(), 0);
-    std::vector<std::size_t> full(masks.size(), 0);
-    for (std::size_t r = 0; r < masks.size(); ++r) {
-        for (std::size_t q : order) {
-            full[r] += masks[r][q];
-        }
-    }
+    // row's memoized full-support overlap minus it.
+    static thread_local std::vector<uint64_t> overlap;
+    overlap.assign(rows.size(), 0);
     for (std::size_t k = 1; k < w; ++k) {
-        for (std::size_t r = 0; r < masks.size(); ++r) {
-            overlap[r] += masks[r][order[k - 1]];
-        }
         uint64_t dmg_prefix = 0;
         uint64_t dmg_suffix = 0;
-        for (std::size_t r = 0; r < masks.size(); ++r) {
-            std::size_t pre = overlap[r];
-            std::size_t suf = full[r] - overlap[r];
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            overlap[r] += rows[r].mask[order[k - 1]];
+            uint64_t pre = overlap[r];
+            uint64_t suf = rows[r].full - overlap[r];
             if (pre >= 2) {
-                dmg_prefix = std::max<uint64_t>(dmg_prefix, pre - 1);
+                dmg_prefix = std::max(dmg_prefix, pre - 1);
             }
             if (suf >= 2) {
-                dmg_suffix = std::max<uint64_t>(dmg_suffix, suf - 1);
+                dmg_suffix = std::max(dmg_suffix, suf - 1);
             }
         }
         // The physical error is the suffix; modulo the stabilizer it is
@@ -229,28 +240,76 @@ ScheduleObjective::evaluate(const circuit::SmSchedule &schedule) const
     return pack(evaluateTerms(schedule));
 }
 
+std::optional<uint64_t>
+ScheduleObjective::unpackDepth(uint64_t objective)
+{
+    if (objective == kInvalidObjective) {
+        return std::nullopt;
+    }
+    uint64_t depth = objective % kEscapeWeight;
+    if (depth == kDepthMax) {
+        return std::nullopt; // saturated field: true depth unknown
+    }
+    return depth;
+}
+
+namespace {
+
+/** FNV-1a over the component's tag and entries. */
 uint64_t
-scheduleKey(const circuit::SmSchedule &schedule)
+componentFnv(uint64_t tag, const std::vector<std::size_t> &entries)
 {
     uint64_t h = 1469598103934665603ULL; // FNV offset basis
     auto mix = [&h](uint64_t v) {
         h ^= v;
         h *= 1099511628211ULL; // FNV prime
     };
-    const code::CssCode &code = schedule.code();
-    for (std::size_t c = 0; c < code.numChecks(); ++c) {
-        mix(0xc0de0000 + c);
-        for (std::size_t q : schedule.checkOrder(c)) {
-            mix(q + 1);
-        }
-    }
-    for (std::size_t q = 0; q < code.n(); ++q) {
-        mix(0x0b170000 + q);
-        for (std::size_t c : schedule.qubitOrder(q)) {
-            mix(c + 1);
-        }
+    mix(tag);
+    for (std::size_t e : entries) {
+        mix(e + 1);
     }
     return h;
+}
+
+/** SplitMix64 finalizer: decorrelates the sub-hashes so their XOR is a
+ * sound combined key. */
+uint64_t
+finalizeComponent(uint64_t h)
+{
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+}
+
+} // namespace
+
+uint64_t
+checkOrderHash(std::size_t check, const std::vector<std::size_t> &order)
+{
+    return finalizeComponent(componentFnv(0xc0de0000 + check, order));
+}
+
+uint64_t
+qubitOrderHash(std::size_t qubit, const std::vector<std::size_t> &order)
+{
+    return finalizeComponent(componentFnv(0x0b170000 + qubit, order));
+}
+
+uint64_t
+scheduleKey(const circuit::SmSchedule &schedule)
+{
+    const code::CssCode &code = schedule.code();
+    uint64_t key = 0;
+    for (std::size_t c = 0; c < code.numChecks(); ++c) {
+        key ^= checkOrderHash(c, schedule.checkOrder(c));
+    }
+    for (std::size_t q = 0; q < code.n(); ++q) {
+        key ^= qubitOrderHash(q, schedule.qubitOrder(q));
+    }
+    return key;
 }
 
 } // namespace prophunt::search

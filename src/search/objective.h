@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "circuit/schedule.h"
@@ -76,6 +77,11 @@ class ScheduleObjective
     explicit ScheduleObjective(
         std::shared_ptr<const code::CssCode> code);
 
+    /** Non-copyable: damageRows_ holds pointers into logicalMask_.
+     * Strategies share one evaluator by reference anyway. */
+    ScheduleObjective(const ScheduleObjective &) = delete;
+    ScheduleObjective &operator=(const ScheduleObjective &) = delete;
+
     const code::CssCode &code() const { return *code_; }
 
     /** Full objective; kInvalidObjective for invalid schedules. */
@@ -87,7 +93,14 @@ class ScheduleObjective
     /** Pack terms into the scalar objective. */
     static uint64_t pack(const ObjectiveTerms &terms);
 
-    /** Hook-alignment damage of one check under one CNOT order. */
+    /** Depth recovered from a packed objective, or nullopt when it is
+     * not recoverable: the objective is invalid, or the depth field
+     * saturated at kDepthMax (the packing is lossy there). */
+    static std::optional<uint64_t> unpackDepth(uint64_t objective);
+
+    /** Hook-alignment damage of one check under one CNOT order.
+     * Precondition: @p order is a permutation of the check's support
+     * (the overlap table is memoized against it at construction). */
     uint64_t checkDamage(std::size_t check,
                          const std::vector<std::size_t> &order) const;
 
@@ -115,6 +128,16 @@ class ScheduleObjective
   private:
     void enumerateDamage(std::size_t check) const;
 
+    /** One logical row relevant to a check's damage: a dense membership
+     * mask over qubits plus the row's full overlap with the check's
+     * support. Rows with full overlap < 2 can never contribute damage
+     * and are dropped at construction. */
+    struct DamageRow
+    {
+        const uint8_t *mask;
+        uint64_t full;
+    };
+
     std::shared_ptr<const code::CssCode> code_;
     /** Logical supports as dense membership masks: logicalMask_[f][r][q],
      * f = 0 for X-type logicals (lx), 1 for Z-type (lz). */
@@ -126,11 +149,31 @@ class ScheduleObjective
     /** Memoized per-check damage extrema (kInvalidObjective = unset). */
     mutable std::vector<uint64_t> minDamage_;
     mutable std::vector<uint64_t> maxDamage_;
+    /** Schedule-independent per-check damage rows (satellite of the
+     * incremental-evaluation PR): the full[r] overlap counts used to be
+     * recomputed on every checkDamage call, including inside
+     * enumerateDamage's w! loop. */
+    std::vector<std::vector<DamageRow>> damageRows_;
     uint64_t depthLoadBound_ = 0;
 };
 
-/** FNV-1a hash of both order families — the dedup/tie-break key used by
- * the search strategies. Deterministic across processes. */
+/**
+ * Component sub-hashes of the schedule dedup/tie-break key.
+ *
+ * The key of a schedule is the XOR of one finalized sub-hash per check
+ * order and per qubit order, so a move re-mixes only the touched
+ * component: key' = key ^ old_subhash ^ new_subhash. Each sub-hash is
+ * the FNV-1a of the component's tag + entries pushed through a SplitMix64
+ * finalizer (XOR of raw FNV states would correlate; the finalizer makes
+ * the per-component hashes independent). Deterministic across processes.
+ */
+uint64_t checkOrderHash(std::size_t check,
+                        const std::vector<std::size_t> &order);
+uint64_t qubitOrderHash(std::size_t qubit,
+                        const std::vector<std::size_t> &order);
+
+/** XOR of all component sub-hashes — the dedup/tie-break key used by
+ * the search strategies and the transposition cache. */
 uint64_t scheduleKey(const circuit::SmSchedule &schedule);
 
 } // namespace prophunt::search

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "search/incremental.h"
+#include "search/transposition.h"
+
 namespace prophunt::search {
 
 namespace {
@@ -24,9 +27,13 @@ runMaxSatStrategy(const SearchContext &ctx, std::size_t rounds,
 {
     SearchOutcome out(ctx.start);
     uint64_t t0 = nowUs();
+    uint64_t hits0 = ctx.transpositions ? ctx.transpositions->hits() : 0;
+    uint64_t misses0 =
+        ctx.transpositions ? ctx.transpositions->misses() : 0;
 
     core::PropHuntOptions run_opts = opts;
     run_opts.cancel = ctx.cancel;
+    run_opts.transpositions = ctx.transpositions;
     if (ctx.budget.wallSeconds > 0.0) {
         run_opts.wallSecondsBudget = ctx.budget.wallSeconds;
     }
@@ -46,8 +53,14 @@ runMaxSatStrategy(const SearchContext &ctx, std::size_t rounds,
             out.stats.timeToFirstImprovementUs = nowUs() - t0;
         }
     }
-    out.stats.bestObjective = ctx.objective.evaluate(out.schedule);
+    out.stats.bestObjective =
+        cachedEvaluate(ctx.objective, out.schedule, ctx.transpositions);
     out.stats.totalUs = nowUs() - t0;
+    if (ctx.transpositions != nullptr) {
+        out.stats.transpositionHits = ctx.transpositions->hits() - hits0;
+        out.stats.transpositionMisses =
+            ctx.transpositions->misses() - misses0;
+    }
     return out;
 }
 
@@ -59,7 +72,9 @@ runPortfolio(const circuit::SmSchedule &start, std::size_t rounds,
              const PortfolioOptions &portfolio)
 {
     ScheduleObjective objective(start.codePtr());
-    uint64_t start_obj = objective.evaluate(start);
+    TranspositionCache cache(portfolio.transpositionCapacity);
+    TranspositionCache *cache_ptr = cache.enabled() ? &cache : nullptr;
+    uint64_t start_obj = cachedEvaluate(objective, start, cache_ptr);
 
     std::size_t enabled = (portfolio.includeBeam ? 1 : 0) +
                           (portfolio.includeBranchBound ? 1 : 0) +
@@ -83,7 +98,7 @@ runPortfolio(const circuit::SmSchedule &start, std::size_t rounds,
     if (portfolio.includeBeam) {
         SearchContext ctx{start, objective,
                           budgetFor(portfolio.beamBudget), opts.seed,
-                          opts.cancel};
+                          opts.cancel, cache_ptr};
         SearchOutcome o = runBeamSearch(ctx, portfolio.beam);
         reports.push_back({"beam", o.stats, false, false});
         schedules.push_back(std::move(o.schedule));
@@ -91,7 +106,7 @@ runPortfolio(const circuit::SmSchedule &start, std::size_t rounds,
     if (portfolio.includeBranchBound) {
         SearchContext ctx{start, objective,
                           budgetFor(portfolio.bnbBudget), opts.seed,
-                          opts.cancel};
+                          opts.cancel, cache_ptr};
         SearchOutcome o = runBranchBound(ctx, portfolio.bnb);
         reports.push_back({"branch_bound", o.stats, false, false});
         schedules.push_back(std::move(o.schedule));
@@ -99,7 +114,7 @@ runPortfolio(const circuit::SmSchedule &start, std::size_t rounds,
     if (portfolio.includeMaxSat) {
         SearchContext ctx{start, objective,
                           SearchBudget{0, wall_share}, opts.seed,
-                          opts.cancel};
+                          opts.cancel, cache_ptr};
         SearchOutcome o =
             runMaxSatStrategy(ctx, rounds, opts, maxsat_outcome);
         reports.push_back({"maxsat", o.stats, false, false});
@@ -112,7 +127,7 @@ runPortfolio(const circuit::SmSchedule &start, std::size_t rounds,
     std::size_t winner = schedules.size();
     uint64_t winner_obj = start_obj;
     for (std::size_t i = 0; i < schedules.size(); ++i) {
-        uint64_t obj = objective.evaluate(schedules[i]);
+        uint64_t obj = cachedEvaluate(objective, schedules[i], cache_ptr);
         reports[i].verified =
             obj != kInvalidObjective && obj <= start_obj;
         if (reports[i].verified && obj < winner_obj) {

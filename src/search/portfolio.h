@@ -48,6 +48,17 @@ struct PortfolioOptions
     BnbOptions bnb;
 
     /**
+     * Entry capacity of the portfolio-wide transposition cache (key ->
+     * packed objective) shared by beam, B&B, the MaxSAT loop's
+     * verification step, and the central verification pass, so no
+     * strategy re-scores a schedule another already scored. FIFO
+     * eviction; 0 disables the cache. Cached scores are bit-identical
+     * to fresh ones, so the portfolio outcome is unchanged by this
+     * knob (asserted in tests/search_incremental_test.cc).
+     */
+    std::size_t transpositionCapacity = std::size_t(1) << 20;
+
+    /**
      * Optional overall wall-clock budget in seconds, split evenly across
      * the enabled strategies on top of their expansion budgets. Opt-in:
      * breaks bit-reproducibility (results then depend on machine speed).

@@ -50,6 +50,23 @@ struct SearchStats
     /** Total wall-clock microseconds spent in the strategy. Telemetry
      * only — excluded from the determinism contract. */
     uint64_t totalUs = 0;
+    /**
+     * Transposition-cache probes resolved/unresolved during this
+     * strategy's run (both 0 when no cache was attached). Deterministic
+     * under expansion budgets: strategies run serially and the MaxSAT
+     * loop's parallel verification probes a frozen cache exactly once
+     * per candidate, so the totals don't depend on thread interleaving.
+     */
+    uint64_t transpositionHits = 0;
+    uint64_t transpositionMisses = 0;
+
+    /** Expansion rate (telemetry only — derived from totalUs). */
+    double
+    expansionsPerSec() const
+    {
+        return totalUs == 0 ? 0.0
+                            : (double)expansions * 1e6 / (double)totalUs;
+    }
 };
 
 /** One strategy's outcome inside a portfolio run. */

@@ -35,6 +35,8 @@ struct SearchBudget
     double wallSeconds = 0.0;
 };
 
+class TranspositionCache;
+
 /** Shared per-run inputs handed to every strategy. */
 struct SearchContext
 {
@@ -45,6 +47,10 @@ struct SearchContext
     /** Optional caller-owned cancellation flag; checked between
      * expansions. */
     const std::atomic<bool> *cancel = nullptr;
+    /** Optional portfolio-shared transposition cache (key -> packed
+     * objective). Strategies probe before scoring and insert fresh
+     * scores; hit/miss deltas land in SearchStats. */
+    TranspositionCache *transpositions = nullptr;
 
     bool
     cancelled() const

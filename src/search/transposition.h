@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Portfolio-wide transposition cache and the beam search's bounded
+ * visited-set window.
+ *
+ * Beam search, branch-and-bound, and the MaxSAT loop all explore the
+ * same schedule space from the same start, so they keep rediscovering
+ * each other's schedules. The TranspositionCache maps the incremental
+ * schedule key (search/objective.h) to the packed propagation-weight
+ * objective, letting any strategy skip re-scoring a schedule another
+ * one already scored. Entries are evicted FIFO under a bounded
+ * capacity; hit/miss counters feed SearchStats.
+ *
+ * Lookups and inserts are mutex-guarded: the cache is created per
+ * portfolio run (strategies run serially), but the MaxSAT strategy's
+ * candidate-verification tasks probe it from the optimizer's worker
+ * pool. Probes never mutate entries, so parallel probing is
+ * deterministic: the hit/miss totals depend only on the probe set and
+ * the (frozen) cache contents, not on interleaving.
+ *
+ * Keys are 64-bit hashes; two distinct schedules colliding would alias
+ * their scores. That is the same failure mode (and the same odds) the
+ * search strategies already accept for duplicate suppression.
+ */
+#ifndef PROPHUNT_SEARCH_TRANSPOSITION_H
+#define PROPHUNT_SEARCH_TRANSPOSITION_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace prophunt::search {
+
+/** Bounded schedule-key -> packed-objective cache shared by the
+ * portfolio's strategies. capacity 0 disables the cache (every lookup
+ * misses, inserts are dropped, counters stay 0). */
+class TranspositionCache
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = std::size_t(1) << 20;
+
+    explicit TranspositionCache(std::size_t capacity = kDefaultCapacity)
+        : capacity_(capacity)
+    {
+    }
+
+    bool enabled() const { return capacity_ != 0; }
+
+    /** Look @p key up; on hit stores the cached packed objective in
+     * @p objective and returns true. Counts one hit or miss. */
+    bool
+    lookup(uint64_t key, uint64_t &objective)
+    {
+        if (capacity_ == 0) {
+            return false;
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            ++misses_;
+            return false;
+        }
+        ++hits_;
+        objective = it->second;
+        return true;
+    }
+
+    /** Record @p key -> @p objective, evicting the oldest entry when
+     * full. Re-inserting a present key is a no-op (first score wins —
+     * scores for one key are identical by construction). */
+    void
+    insert(uint64_t key, uint64_t objective)
+    {
+        if (capacity_ == 0) {
+            return;
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!map_.emplace(key, objective).second) {
+            return;
+        }
+        fifo_.push_back(key);
+        if (fifo_.size() > capacity_) {
+            map_.erase(fifo_.front());
+            fifo_.pop_front();
+        }
+    }
+
+    uint64_t
+    hits() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hits_;
+    }
+
+    uint64_t
+    misses() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return misses_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return map_.size();
+    }
+
+  private:
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, uint64_t> map_;
+    std::deque<uint64_t> fifo_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** FIFO-bounded set of schedule keys: the beam search's visited window.
+ * Within the window, insert() deduplicates exactly; once the window
+ * overflows, the oldest keys are forgotten and may be revisited —
+ * bounding memory on long runs over large codes. capacity 0 =
+ * unbounded (the pre-window behavior). Single-threaded. */
+class FifoKeySet
+{
+  public:
+    explicit FifoKeySet(std::size_t capacity) : capacity_(capacity) {}
+
+    /** True iff @p key was not present (and is now inserted). */
+    bool
+    insert(uint64_t key)
+    {
+        if (!set_.insert(key).second) {
+            return false;
+        }
+        fifo_.push_back(key);
+        if (capacity_ != 0 && fifo_.size() > capacity_) {
+            set_.erase(fifo_.front());
+            fifo_.pop_front();
+        }
+        return true;
+    }
+
+    bool contains(uint64_t key) const { return set_.count(key) != 0; }
+    std::size_t size() const { return set_.size(); }
+
+  private:
+    std::size_t capacity_;
+    std::unordered_set<uint64_t> set_;
+    std::deque<uint64_t> fifo_;
+};
+
+} // namespace prophunt::search
+
+#endif // PROPHUNT_SEARCH_TRANSPOSITION_H

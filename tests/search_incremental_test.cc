@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Differential tests of the incremental search evaluator: random
+ * apply/undo sequences against the from-scratch oracle
+ * (ScheduleObjective::evaluate / evaluateTerms / scheduleKey), plus
+ * unit tests of the transposition cache, the FIFO visited window, and
+ * the cache-on/off invariance of the portfolio.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "circuit/coloration.h"
+#include "circuit/surface_schedules.h"
+#include "code/codes.h"
+#include "code/surface.h"
+#include "search/incremental.h"
+#include "search/objective.h"
+#include "search/portfolio.h"
+#include "search/transposition.h"
+#include "sim/rng.h"
+
+using namespace prophunt;
+using namespace prophunt::search;
+
+namespace {
+
+void
+expectTermsEqual(const ObjectiveTerms &got, const ObjectiveTerms &want,
+                 const char *where)
+{
+    EXPECT_EQ(got.valid, want.valid) << where;
+    EXPECT_EQ(got.hookAlignment, want.hookAlignment) << where;
+    EXPECT_EQ(got.sameRoundEscape, want.sameRoundEscape) << where;
+    EXPECT_EQ(got.depth, want.depth) << where;
+}
+
+/** One full differential fuzz run: random applies (moves and whole
+ * check-order replacements, cycle-inducing ones included), random
+ * undos, bit-equality against the scratch oracle at every step, and a
+ * final unwind back to the start schedule. */
+void
+fuzzAgainstOracle(const circuit::SmSchedule &start, std::size_t steps,
+                  uint64_t seed)
+{
+    ScheduleObjective obj(start.codePtr());
+    ObjectiveState state(obj);
+    state.reset(start);
+
+    // Shadow history: schedule before each un-undone apply.
+    std::vector<circuit::SmSchedule> history;
+    circuit::SmSchedule cur = start;
+    sim::Rng rng(seed);
+
+    auto checkAgainstOracle = [&](const char *where) {
+        ASSERT_TRUE(state.schedule() == cur) << where;
+        EXPECT_EQ(state.key(), scheduleKey(cur)) << where;
+        EXPECT_EQ(state.objective(), obj.evaluate(cur)) << where;
+        expectTermsEqual(state.terms(), obj.evaluateTerms(cur), where);
+    };
+    checkAgainstOracle("after reset");
+
+    std::vector<Move> moves;
+    for (std::size_t step = 0; step < steps; ++step) {
+        uint64_t roll = rng.next() % 100;
+        if (roll < 25 && state.framesApplied() > 0) {
+            state.undo();
+            cur = std::move(history.back());
+            history.pop_back();
+            checkAgainstOracle("after undo");
+            continue;
+        }
+        if (roll < 80) {
+            enumerateMoves(cur, moves);
+            if (moves.empty()) {
+                continue;
+            }
+            const Move mv = moves[rng.next() % moves.size()];
+            uint64_t predicted_key = state.keyAfter(mv);
+            history.push_back(cur);
+            cur = applyMove(cur, mv);
+            uint64_t ret = state.apply(mv);
+            EXPECT_EQ(state.key(), predicted_key) << "keyAfter";
+            EXPECT_EQ(ret, state.objective());
+            checkAgainstOracle("after move apply");
+            continue;
+        }
+        // Whole check-order replacement (the B&B child move); random
+        // shuffles routinely produce commutation-breaking and cyclic
+        // schedules, exercising the stale/recovery path.
+        std::size_t check = rng.next() % cur.code().numChecks();
+        std::vector<std::size_t> order = cur.checkOrder(check);
+        if (order.size() < 2) {
+            continue;
+        }
+        for (std::size_t i = order.size(); i-- > 1;) {
+            std::swap(order[i], order[rng.next() % (i + 1)]);
+        }
+        uint64_t predicted_key = state.keyAfterCheckOrder(check, order);
+        history.push_back(cur);
+        std::vector<std::vector<std::size_t>> orders;
+        std::vector<std::vector<std::size_t>> qorders;
+        for (std::size_t c = 0; c < cur.code().numChecks(); ++c) {
+            orders.push_back(c == check ? order : cur.checkOrder(c));
+        }
+        for (std::size_t q = 0; q < cur.code().n(); ++q) {
+            qorders.push_back(cur.qubitOrder(q));
+        }
+        cur = circuit::SmSchedule(cur.codePtr(), std::move(orders),
+                                  std::move(qorders));
+        uint64_t ret = state.applyCheckOrder(check, order);
+        EXPECT_EQ(state.key(), predicted_key) << "keyAfterCheckOrder";
+        EXPECT_EQ(ret, state.objective());
+        checkAgainstOracle("after check-order apply");
+    }
+
+    // Full unwind returns bit-exactly to the start.
+    while (state.framesApplied() > 0) {
+        state.undo();
+        cur = std::move(history.back());
+        history.pop_back();
+        checkAgainstOracle("during unwind");
+    }
+    ASSERT_TRUE(history.empty());
+    EXPECT_TRUE(state.schedule() == start);
+    EXPECT_EQ(state.key(), scheduleKey(start));
+    EXPECT_EQ(state.objective(), obj.evaluate(start));
+}
+
+} // namespace
+
+// --- differential fuzz ----------------------------------------------------
+
+TEST(IncrementalFuzz, SurfaceD3MatchesOracle)
+{
+    code::SurfaceCode s(3);
+    fuzzAgainstOracle(circuit::poorSurfaceSchedule(s), 400, 12345);
+}
+
+TEST(IncrementalFuzz, SurfaceD5MatchesOracle)
+{
+    code::SurfaceCode s(5);
+    fuzzAgainstOracle(circuit::poorSurfaceSchedule(s), 200, 67890);
+}
+
+TEST(IncrementalFuzz, Lp39ColorationMatchesOracle)
+{
+    auto cp =
+        std::make_shared<const code::CssCode>(code::benchmarkLp39());
+    fuzzAgainstOracle(circuit::colorationSchedule(cp), 250, 24680);
+}
+
+TEST(IncrementalFuzz, NzScheduleMatchesOracle)
+{
+    // A hook-optimized start: improvements are rare, so most applies
+    // land on equal-or-worse (often invalid) neighbors.
+    code::SurfaceCode s(3);
+    fuzzAgainstOracle(circuit::nzSchedule(s), 300, 1357);
+}
+
+// --- enumerateMoves / applyMove -------------------------------------------
+
+TEST(IncrementalMoves, ApplyMoveMatchesLegacyNeighborhood)
+{
+    code::SurfaceCode s(3);
+    circuit::SmSchedule start = circuit::poorSurfaceSchedule(s);
+    std::vector<Move> moves;
+    enumerateMoves(start, moves);
+    ASSERT_FALSE(moves.empty());
+    // Reorders first (skipping no-ops), then swaps: spot-check the
+    // families and that each applied move changes the key.
+    bool saw_reorder = false, saw_swap = false;
+    for (const Move &mv : moves) {
+        saw_reorder |= mv.kind == Move::Kind::Reorder;
+        saw_swap |= mv.kind == Move::Kind::RelativeSwap;
+    }
+    EXPECT_TRUE(saw_reorder);
+    EXPECT_TRUE(saw_swap);
+    for (std::size_t i = 0; i < moves.size(); i += 7) {
+        circuit::SmSchedule next = applyMove(start, moves[i]);
+        EXPECT_NE(scheduleKey(next), scheduleKey(start));
+        EXPECT_FALSE(next == start);
+    }
+}
+
+// --- transposition cache --------------------------------------------------
+
+TEST(TranspositionCacheTest, LookupInsertAndCounters)
+{
+    TranspositionCache cache(8);
+    EXPECT_TRUE(cache.enabled());
+    uint64_t obj = 0;
+    EXPECT_FALSE(cache.lookup(42, obj));
+    EXPECT_EQ(cache.misses(), 1u);
+    cache.insert(42, 1234);
+    EXPECT_TRUE(cache.lookup(42, obj));
+    EXPECT_EQ(obj, 1234u);
+    EXPECT_EQ(cache.hits(), 1u);
+    // First insert wins; a second insert with the same key is a no-op.
+    cache.insert(42, 9999);
+    EXPECT_TRUE(cache.lookup(42, obj));
+    EXPECT_EQ(obj, 1234u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TranspositionCacheTest, FifoEvictionBoundsSize)
+{
+    TranspositionCache cache(4);
+    for (uint64_t k = 0; k < 10; ++k) {
+        cache.insert(k, k * 10);
+    }
+    EXPECT_EQ(cache.size(), 4u);
+    uint64_t obj = 0;
+    // Oldest keys evicted, newest retained.
+    EXPECT_FALSE(cache.lookup(0, obj));
+    EXPECT_FALSE(cache.lookup(5, obj));
+    EXPECT_TRUE(cache.lookup(9, obj));
+    EXPECT_EQ(obj, 90u);
+}
+
+TEST(TranspositionCacheTest, ZeroCapacityDisables)
+{
+    TranspositionCache cache(0);
+    EXPECT_FALSE(cache.enabled());
+    cache.insert(1, 2);
+    uint64_t obj = 0;
+    EXPECT_FALSE(cache.lookup(1, obj));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TranspositionCacheTest, CachedEvaluateMatchesOracle)
+{
+    code::SurfaceCode s(3);
+    auto cp = std::make_shared<const code::CssCode>(s.code());
+    ScheduleObjective obj(cp);
+    circuit::SmSchedule sched = circuit::poorSurfaceSchedule(s);
+    TranspositionCache cache(64);
+    uint64_t fresh = obj.evaluate(sched);
+    EXPECT_EQ(cachedEvaluate(obj, sched, &cache), fresh);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cachedEvaluate(obj, sched, &cache), fresh);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cachedEvaluate(obj, sched, nullptr), fresh);
+}
+
+// --- FIFO visited window --------------------------------------------------
+
+TEST(FifoKeySetTest, DedupsWithinWindowForgetsBeyond)
+{
+    FifoKeySet set(3);
+    EXPECT_TRUE(set.insert(1));
+    EXPECT_TRUE(set.insert(2));
+    EXPECT_TRUE(set.insert(3));
+    EXPECT_FALSE(set.insert(2)); // exact dedup inside the window
+    EXPECT_TRUE(set.insert(4));  // evicts 1
+    EXPECT_TRUE(set.insert(1));  // forgotten, admitted again (evicts 2)
+    EXPECT_FALSE(set.insert(4));
+    EXPECT_TRUE(set.insert(2));
+}
+
+TEST(FifoKeySetTest, ZeroCapacityIsUnbounded)
+{
+    FifoKeySet set(0);
+    for (uint64_t k = 0; k < 1000; ++k) {
+        EXPECT_TRUE(set.insert(k));
+    }
+    for (uint64_t k = 0; k < 1000; ++k) {
+        EXPECT_FALSE(set.insert(k));
+    }
+}
+
+TEST(BeamVisitedWindow, DefaultWindowCoversPortfolioBudgets)
+{
+    // The dedup regression: a small window must not change the beam's
+    // outcome at budgets it covers, and the default window exceeds the
+    // portfolio's expansion budgets.
+    BeamOptions defaults;
+    PortfolioOptions portfolio;
+    EXPECT_GE(defaults.visitedWindow, portfolio.beamBudget.maxExpansions);
+
+    code::SurfaceCode s(3);
+    auto cp = std::make_shared<const code::CssCode>(s.code());
+    ScheduleObjective obj(cp);
+    circuit::SmSchedule start = circuit::poorSurfaceSchedule(s);
+    SearchContext ctx{start, obj, SearchBudget{1000, 0.0}, 7, nullptr};
+    BeamOptions unbounded;
+    unbounded.visitedWindow = 0;
+    BeamOptions windowed;
+    windowed.visitedWindow = std::size_t(1) << 16;
+    SearchOutcome a = runBeamSearch(ctx, unbounded);
+    SearchOutcome b = runBeamSearch(ctx, windowed);
+    EXPECT_TRUE(a.schedule == b.schedule);
+    EXPECT_EQ(a.stats.expansions, b.stats.expansions);
+    EXPECT_EQ(a.stats.deadEnds, b.stats.deadEnds);
+    EXPECT_EQ(a.stats.bestObjective, b.stats.bestObjective);
+}
+
+// --- cache-on/off invariance ----------------------------------------------
+
+TEST(PortfolioCache, OutcomeUnchangedByCacheAndStatsExposed)
+{
+    code::SurfaceCode s(3);
+    auto cp = std::make_shared<const code::CssCode>(s.code());
+    ScheduleObjective obj(cp);
+    circuit::SmSchedule start = circuit::poorSurfaceSchedule(s);
+    core::PropHuntOptions opts;
+    opts.iterations = 1;
+    opts.samplesPerIteration = 50;
+    opts.maxAmbiguousPerIteration = 2;
+    opts.maxCost = 8;
+    opts.seed = 21;
+
+    PortfolioOptions cached;
+    cached.enabled = true;
+    cached.beamBudget = {800, 0.0};
+    cached.bnbBudget = {800, 0.0};
+    PortfolioOptions uncached = cached;
+    uncached.transpositionCapacity = 0;
+
+    core::OptimizeResult a = runPortfolio(start, 3, opts, cached);
+    core::OptimizeResult b = runPortfolio(start, 3, opts, uncached);
+    EXPECT_TRUE(a.finalSchedule() == b.finalSchedule());
+    ASSERT_EQ(a.searchReports.size(), b.searchReports.size());
+    uint64_t hits = 0, misses = 0;
+    for (std::size_t i = 0; i < a.searchReports.size(); ++i) {
+        EXPECT_EQ(a.searchReports[i].name, b.searchReports[i].name);
+        EXPECT_EQ(a.searchReports[i].stats.expansions,
+                  b.searchReports[i].stats.expansions);
+        EXPECT_EQ(a.searchReports[i].stats.deadEnds,
+                  b.searchReports[i].stats.deadEnds);
+        EXPECT_EQ(a.searchReports[i].stats.bestObjective,
+                  b.searchReports[i].stats.bestObjective);
+        EXPECT_EQ(a.searchReports[i].winner, b.searchReports[i].winner);
+        hits += a.searchReports[i].stats.transpositionHits;
+        misses += a.searchReports[i].stats.transpositionMisses;
+        // Cache disabled => no probes counted.
+        EXPECT_EQ(b.searchReports[i].stats.transpositionHits, 0u);
+        EXPECT_EQ(b.searchReports[i].stats.transpositionMisses, 0u);
+    }
+    EXPECT_GT(misses, 0u);
+    EXPECT_GT(hits, 0u) << "strategies share one cache; B&B and the "
+                           "verification pass must re-hit beam entries";
+}
+
+TEST(PortfolioCache, ExpansionRateExposed)
+{
+    SearchStats stats;
+    stats.expansions = 500;
+    stats.totalUs = 250000;
+    EXPECT_DOUBLE_EQ(stats.expansionsPerSec(), 2000.0);
+    stats.totalUs = 0;
+    EXPECT_DOUBLE_EQ(stats.expansionsPerSec(), 0.0);
+}

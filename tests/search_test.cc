@@ -124,6 +124,8 @@ expectStatsEqual(const SearchStats &a, const SearchStats &b)
     EXPECT_EQ(a.deadEnds, b.deadEnds);
     EXPECT_EQ(a.bestObjective, b.bestObjective);
     EXPECT_EQ(a.firstImprovementExpansions, b.firstImprovementExpansions);
+    EXPECT_EQ(a.transpositionHits, b.transpositionHits);
+    EXPECT_EQ(a.transpositionMisses, b.transpositionMisses);
 }
 
 void
