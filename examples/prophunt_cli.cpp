@@ -2,24 +2,42 @@
  * @file
  * Command-line PropHunt driver, mirroring the paper artifact's
  * `prophunt_experiment.py <benchmark> <distance> <samples> <iters>
- * <cores>` interface.
+ * <cores>` interface, plus the distributed-sweep front end.
  *
  * Usage:
  *   prophunt_cli <code> <samples-per-iteration> <iterations> [threads]
+ *   prophunt_cli sweep <code> [--ps p1,p2,..] [--shots N] [--rounds N]
+ *                      [--sprt LER] [--chunk N] [--seed N] [--threads N]
+ *                      [--checkpoint PATH [--every N]] [--shard i/k]
+ *                      [--out PATH]
+ *   prophunt_cli merge <merged-ckpt.json> <shard-ckpt.json>...
+ *                      [--out PATH]
  *
  * where <code> is one of: surface3 surface5 surface7 surface9 lp39
- * rqt60 rqt54 rqt108. Prints per-iteration telemetry and the
- * before/after logical error rates. Everything runs through
+ * rqt60 rqt54 rqt108. The default mode prints per-iteration telemetry
+ * and the before/after logical error rates. `sweep` runs an LER-vs-p
+ * sweep with optional SPRT early stopping, checkpoint/resume
+ * (interrupt it with SIGKILL and rerun the identical command line), and
+ * (point, chunk) sharding across worker processes; `merge` combines
+ * shard checkpoints and finalizes the sweep with the deterministic
+ * canonical-order SPRT re-evaluation (exit 0 = complete, 3 =
+ * incomplete, needs more shard data). Everything runs through
  * prophunt::api::Engine.
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "api/engine.h"
+#include "api/sweep_checkpoint.h"
 #include "circuit/coloration.h"
+#include "circuit/surface_schedules.h"
 #include "code/codes.h"
+#include "code/surface.h"
 
 using namespace prophunt;
 
@@ -66,12 +84,235 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <code> <samples-per-iteration> <iterations> "
-                 "[threads]\ncodes:",
-                 argv0);
+                 "[threads]\n"
+                 "       %s sweep <code> [--ps p1,p2,..] [--shots N] "
+                 "[--rounds N] [--sprt LER] [--chunk N] [--seed N]\n"
+                 "             [--threads N] [--checkpoint PATH "
+                 "[--every N]] [--shard i/k] [--out PATH]\n"
+                 "       %s merge <merged-ckpt.json> "
+                 "<shard-ckpt.json>... [--out PATH]\ncodes:",
+                 argv0, argv0, argv0);
     for (const Named &n : kCodes) {
         std::fprintf(stderr, " %s", n.name);
     }
     std::fprintf(stderr, "\n");
+}
+
+const Named *
+findCode(const char *name)
+{
+    for (const Named &n : kCodes) {
+        if (std::strcmp(name, n.name) == 0) {
+            return &n;
+        }
+    }
+    return nullptr;
+}
+
+/**
+ * Stable sweep-result JSON: tallies and decisions only, no timings —
+ * a clean run and a kill/resume run of the same request produce
+ * byte-identical files, which is exactly what the CI smoke leg diffs.
+ */
+void
+writeSweepResultJson(const std::string &path, const char *code_name,
+                     std::size_t rounds, const api::SweepResult &result,
+                     bool complete)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"format\": \"prophunt-sweep-result\",\n"
+                 "  \"code\": \"%s\",\n  \"rounds\": %zu,\n"
+                 "  \"complete\": %s,\n  \"points\": [",
+                 code_name, rounds, complete ? "true" : "false");
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        const api::SweepPointResult &pt = result.points[i];
+        std::fprintf(f,
+                     "%s\n    {\"p\": %.17g, \"z_shots\": %zu, "
+                     "\"z_failures\": %zu, \"x_shots\": %zu, "
+                     "\"x_failures\": %zu, \"ler\": %.6g, "
+                     "\"decision\": \"%s\"}",
+                     i == 0 ? "" : ",", pt.p, pt.memory.z.shots,
+                     pt.memory.z.failures, pt.memory.x.shots,
+                     pt.memory.x.failures, pt.ler(),
+                     api::toString(pt.decision));
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+void
+printSweepResult(const api::SweepResult &result)
+{
+    std::printf("%10s %10s %10s %10s %10s %10s %10s\n", "p", "z_shots",
+                "z_fails", "x_shots", "x_fails", "ler", "decision");
+    for (const api::SweepPointResult &pt : result.points) {
+        std::printf("%10.4g %10zu %10zu %10zu %10zu %10.5f %10s\n", pt.p,
+                    pt.memory.z.shots, pt.memory.z.failures,
+                    pt.memory.x.shots, pt.memory.x.failures, pt.ler(),
+                    api::toString(pt.decision));
+    }
+}
+
+std::vector<double>
+parsePs(const char *arg)
+{
+    std::vector<double> ps;
+    const char *s = arg;
+    while (*s != '\0') {
+        char *end = nullptr;
+        double p = std::strtod(s, &end);
+        if (end == s) {
+            throw std::invalid_argument(std::string("bad --ps list: ") +
+                                        arg);
+        }
+        ps.push_back(p);
+        s = *end == ',' ? end + 1 : end;
+    }
+    if (ps.empty()) {
+        throw std::invalid_argument("--ps needs at least one rate");
+    }
+    return ps;
+}
+
+int
+runSweepMode(int argc, char **argv)
+{
+    if (argc < 3) {
+        usage(argv[0]);
+        return 1;
+    }
+    const Named *spec = findCode(argv[2]);
+    if (spec == nullptr) {
+        usage(argv[0]);
+        return 1;
+    }
+    code::CssCode code = spec->build();
+    auto cp = std::make_shared<const code::CssCode>(code);
+    api::SweepRequest req(circuit::colorationSchedule(cp));
+    req.rounds = spec->distance;
+    req.ps = {1e-3, 2e-3, 4e-3};
+    req.decoder = decoder::DecoderSpec{
+        std::strncmp(argv[2], "surface", 7) == 0 ? "union_find"
+                                                 : "bp_osd"};
+    req.shotsPerPoint = 20000;
+    req.seed = 1;
+    std::string out_path;
+
+    for (int i = 3; i < argc; ++i) {
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                throw std::invalid_argument(std::string(flag) +
+                                            " needs a value");
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--ps") == 0) {
+            req.ps = parsePs(value("--ps"));
+        } else if (std::strcmp(argv[i], "--shots") == 0) {
+            req.shotsPerPoint = std::strtoull(value("--shots"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--rounds") == 0) {
+            req.rounds = std::strtoull(value("--rounds"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--sprt") == 0) {
+            req.sprt.enabled = true;
+            req.sprt.decisionLer = std::strtod(value("--sprt"), nullptr);
+        } else if (std::strcmp(argv[i], "--chunk") == 0) {
+            req.sprt.chunkShots =
+                std::strtoull(value("--chunk"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            req.seed = std::strtoull(value("--seed"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            req.ler.threads =
+                std::strtoull(value("--threads"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+            req.checkpointPath = value("--checkpoint");
+        } else if (std::strcmp(argv[i], "--every") == 0) {
+            req.checkpointEveryChunks =
+                std::strtoull(value("--every"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--shard") == 0) {
+            const char *arg = value("--shard");
+            char *end = nullptr;
+            req.shard.index = std::strtoull(arg, &end, 10);
+            if (*end != '/') {
+                throw std::invalid_argument("--shard wants i/k");
+            }
+            req.shard.count = std::strtoull(end + 1, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--out") == 0) {
+            out_path = value("--out");
+        } else {
+            throw std::invalid_argument(
+                std::string("unknown sweep flag: ") + argv[i]);
+        }
+    }
+
+    std::printf("%s sweep: rounds=%zu decoder=%s shots/point=%zu "
+                "points=%zu sprt=%s shard=%zu/%zu%s%s\n",
+                spec->name, req.rounds, req.decoder.describe().c_str(),
+                req.shotsPerPoint, req.ps.size(),
+                req.sprt.enabled ? "on" : "off", req.shard.index,
+                req.shard.count,
+                req.checkpointPath.empty() ? "" : " checkpoint=",
+                req.checkpointPath.c_str());
+
+    api::Engine engine;
+    api::SweepResult result = engine.run(req);
+    printSweepResult(result);
+    std::printf("total sampled shots this run: %zu\n",
+                result.telemetry.shots);
+
+    bool complete = true;
+    if (!req.checkpointPath.empty()) {
+        api::SweepFinalize fin = api::finalizeSweep(
+            api::SweepCheckpoint::load(req.checkpointPath));
+        complete = fin.complete;
+        std::printf("checkpoint: %zu/%zu points complete\n",
+                    fin.pointsComplete, req.ps.size());
+    }
+    if (!out_path.empty()) {
+        writeSweepResultJson(out_path, spec->name, req.rounds, result,
+                             complete);
+    }
+    return complete ? 0 : 3;
+}
+
+int
+runMergeMode(int argc, char **argv)
+{
+    if (argc < 4) {
+        usage(argv[0]);
+        return 1;
+    }
+    std::string merged_path = argv[2];
+    std::string out_path;
+    std::vector<api::SweepCheckpoint> shards;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0) {
+            if (i + 1 >= argc) {
+                throw std::invalid_argument("--out needs a value");
+            }
+            out_path = argv[++i];
+            continue;
+        }
+        shards.push_back(api::SweepCheckpoint::load(argv[i]));
+    }
+    api::SweepCheckpoint merged = api::mergeSweepCheckpoints(shards);
+    merged.saveAtomic(merged_path);
+    api::SweepFinalize fin = api::finalizeSweep(merged);
+    std::printf("merged %zu shard checkpoint(s) -> %s (%zu/%zu points "
+                "complete)\n",
+                shards.size(), merged_path.c_str(), fin.pointsComplete,
+                merged.points.size());
+    printSweepResult(fin.result);
+    if (!out_path.empty()) {
+        writeSweepResultJson(out_path, "merged", 0, fin.result,
+                             fin.complete);
+    }
+    return fin.complete ? 0 : 3;
 }
 
 } // namespace
@@ -79,16 +320,22 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2 && (std::strcmp(argv[1], "sweep") == 0 ||
+                      std::strcmp(argv[1], "merge") == 0 ||
+                      std::strcmp(argv[1], "--merge") == 0)) {
+        try {
+            return argv[1][0] == 's' ? runSweepMode(argc, argv)
+                                     : runMergeMode(argc, argv);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
     if (argc < 4) {
         usage(argv[0]);
         return 1;
     }
-    const Named *spec = nullptr;
-    for (const Named &n : kCodes) {
-        if (std::strcmp(argv[1], n.name) == 0) {
-            spec = &n;
-        }
-    }
+    const Named *spec = findCode(argv[1]);
     if (!spec) {
         usage(argv[0]);
         return 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 
 #include "circuit/flags.h"
 #include "circuit/sm_circuit.h"
@@ -257,100 +258,175 @@ Engine::run(const LerRequest &req)
     return out;
 }
 
-SweepPointResult
-Engine::sweepPoint(const SweepRequest &req, double p)
+void
+Engine::sweepPointCells(const SweepRequest &req, const SweepGrid &grid,
+                        std::size_t pi, SweepPointCheckpoint &pointCp,
+                        Telemetry &telemetry,
+                        decoder::PackedDecodeStats &zPacked,
+                        decoder::PackedDecodeStats &xPacked,
+                        const std::function<void()> &cellCommitted,
+                        bool &interrupted)
 {
-    SweepPointResult pt;
-    pt.p = p;
-    sim::NoiseModel noise = sim::NoiseModel::withIdle(p, req.pIdle);
-
-    if (req.shotsPerPoint == 0) {
-        // No data: a well-formed empty point with no decision and zeroed
-        // telemetry (mirrors the zero-shot LerRequest contract).
-        return pt;
+    const std::size_t n_chunks = grid.chunksPerPoint();
+    if (n_chunks == 0) {
+        return; // Zero-shot point: nothing to compute, decision None.
     }
+    sim::NoiseModel noise =
+        sim::NoiseModel::withIdle(req.ps[pi], req.pIdle);
+    // Artifacts are built lazily: a fully checkpointed point resumes
+    // without touching the cache at all.
+    Artifact artZ, artX;
+    bool have_artifacts = false;
 
-    if (!req.sprt.enabled) {
-        LerRequest lr(req.schedule);
-        lr.rounds = req.rounds;
-        lr.noise = noise;
-        lr.decoder = req.decoder;
-        lr.shots = req.shotsPerPoint;
-        lr.seed = req.seed;
-        lr.ler = req.ler;
-        lr.flagWeight = req.flagWeight;
-        LerResult r = run(lr);
-        pt.memory = r.memory;
-        pt.telemetry = r.telemetry;
-        pt.decision = req.sprt.decisionLer > 0.0
-                          ? SprtTest::fixedDecision(r.ler(), req.sprt)
-                          : SprtDecision::None;
-        return pt;
-    }
-
-    SprtTest test(req.sprt);
-    Artifact artZ =
-        artifactFor(req.schedule, req.rounds, circuit::MemoryBasis::Z,
-                    noise, req.decoder, req.flagWeight, pt.telemetry);
-    Artifact artX =
-        artifactFor(req.schedule, req.rounds, circuit::MemoryBasis::X,
-                    noise, req.decoder, req.flagWeight, pt.telemetry);
-
-    // Chunk seeds come from their own SplitMix64 stream, so adaptive runs
-    // stay deterministic (and thread-count independent, chunk by chunk)
-    // without colliding with the fixed-budget path's shard seeds.
-    uint64_t chunkState = req.seed ^ 0xc4ceb9fe1a85ec53ULL;
-    // chunkShots = 0 would never advance `done`; treat it as 1.
-    std::size_t chunkShots =
-        std::max<std::size_t>(1, req.sprt.chunkShots);
-    std::size_t done = 0;
-    pt.decision = SprtDecision::Undecided;
-    while (done < req.shotsPerPoint) {
-        std::size_t chunk = std::min(chunkShots, req.shotsPerPoint - done);
-        uint64_t chunkSeed = sim::splitMix64(chunkState);
-        for (auto basis :
-             {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
-            Artifact &art =
-                basis == circuit::MemoryBasis::Z ? artZ : artX;
-            decoder::LerResult r = serviceMeasure(
-                art, chunk, decoder::memoryBasisSeed(chunkSeed, basis),
-                req.ler, nullptr, pt.telemetry);
-            decoder::LerResult &acc = basis == circuit::MemoryBasis::Z
-                                          ? pt.memory.z
-                                          : pt.memory.x;
-            acc.shots += r.shots;
-            acc.failures += r.failures;
-            acc.packed += r.packed;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+        if (grid.sprt) {
+            // Canonical early stop: once the contiguous done prefix
+            // decides, every later chunk is irrelevant — the serial
+            // loop stopped here, and finalize will never read past it.
+            // (Shard workers rarely see a contiguous prefix and so
+            // compute their whole slice; the merge discards the
+            // speculative excess the same way.)
+            SweepPrefix pre = evalSweepPrefix(pointCp, grid, req.sprt);
+            if (pre.decision != SprtDecision::Undecided &&
+                pre.chunksConsumed <= c) {
+                break;
+            }
         }
-        done += chunk;
-        std::size_t trials = (pt.memory.z.shots + pt.memory.x.shots) / 2;
-        std::size_t failures =
-            pt.memory.z.failures + pt.memory.x.failures;
-        SprtDecision dec = test.evaluate(trials, failures);
-        if (dec != SprtDecision::Undecided) {
-            pt.decision = dec;
-            pt.memory.z.earlyStopped = pt.memory.x.earlyStopped =
-                done < req.shotsPerPoint;
+        if (pointCp.chunks[c].done ||
+            !grid.ownsCell(req.shard.index,
+                           std::max<std::size_t>(1, req.shard.count), pi,
+                           c)) {
+            continue;
+        }
+        if (req.cancel != nullptr && req.cancel->load()) {
+            interrupted = true;
             break;
         }
+        if (!have_artifacts) {
+            artZ = artifactFor(req.schedule, req.rounds,
+                               circuit::MemoryBasis::Z, noise, req.decoder,
+                               req.flagWeight, telemetry);
+            artX = artifactFor(req.schedule, req.rounds,
+                               circuit::MemoryBasis::X, noise, req.decoder,
+                               req.flagWeight, telemetry);
+            have_artifacts = true;
+        }
+        const std::size_t chunk_shots = grid.chunkSize(c);
+        const uint64_t chunk_seed = sweepChunkSeed(req, grid, c);
+        SweepChunkTally tally;
+        for (auto basis :
+             {circuit::MemoryBasis::Z, circuit::MemoryBasis::X}) {
+            Artifact &art = basis == circuit::MemoryBasis::Z ? artZ : artX;
+            decoder::LerResult r = serviceMeasure(
+                art, chunk_shots,
+                decoder::memoryBasisSeed(chunk_seed, basis), req.ler,
+                req.cancel, telemetry);
+            if (basis == circuit::MemoryBasis::Z) {
+                tally.zShots = r.shots;
+                tally.zFailures = r.failures;
+                tally.zEarlyStopped = r.earlyStopped;
+                zPacked += r.packed;
+            } else {
+                tally.xShots = r.shots;
+                tally.xFailures = r.failures;
+                tally.xEarlyStopped = r.earlyStopped;
+                xPacked += r.packed;
+            }
+        }
+        if (req.cancel != nullptr && req.cancel->load()) {
+            // The cancel flag flipped while this chunk was in flight;
+            // its tallies may be a truncated shard prefix rather than
+            // the canonical chunk. Discard it — results and checkpoints
+            // carry only full canonical cells, so a resume recomputes
+            // this chunk and stays bit-identical.
+            interrupted = true;
+            break;
+        }
+        tally.done = true;
+        pointCp.chunks[c] = tally;
+        cellCommitted();
     }
-    // Budget exhausted inside the indifference zone: fall back to the
-    // fixed-budget rule so adaptive and fixed sweeps agree everywhere.
-    if (pt.decision == SprtDecision::Undecided) {
-        pt.decision = SprtTest::fixedDecision(pt.ler(), req.sprt);
-    }
-    // telemetry.shots accumulated chunk by chunk inside serviceMeasure.
-    return pt;
 }
 
 SweepResult
 Engine::run(const SweepRequest &req)
 {
+    validateSweepRequest(req);
+    const SweepGrid grid = sweepGridFor(req);
+    const bool persist = !req.checkpointPath.empty();
+
+    SweepCheckpoint cp = makeSweepCheckpoint(req);
+    if (persist) {
+        if (auto loaded = SweepCheckpoint::loadIfExists(req.checkpointPath)) {
+            if (loaded->fingerprint != cp.fingerprint) {
+                throw std::runtime_error(
+                    "SweepRequest: checkpoint '" + req.checkpointPath +
+                    "' belongs to a different request (fingerprint "
+                    "mismatch); point it elsewhere or delete it");
+            }
+            if (loaded->shardIndex != cp.shardIndex ||
+                loaded->shardCount != cp.shardCount) {
+                throw std::runtime_error(
+                    "SweepRequest: checkpoint '" + req.checkpointPath +
+                    "' was written by shard " +
+                    std::to_string(loaded->shardIndex) + "/" +
+                    std::to_string(loaded->shardCount) +
+                    ", not this request's shard slice");
+            }
+            if (loaded->points.size() != cp.points.size()) {
+                throw std::runtime_error(
+                    "SweepRequest: checkpoint '" + req.checkpointPath +
+                    "' does not match the request's point grid");
+            }
+            cp = std::move(*loaded);
+        }
+    }
+
+    const std::size_t save_every =
+        std::max<std::size_t>(1, req.checkpointEveryChunks);
+    std::size_t since_save = 0;
+    auto cell_committed = [&]() {
+        if (persist && ++since_save >= save_every) {
+            cp.saveAtomic(req.checkpointPath);
+            since_save = 0;
+        }
+    };
+
     SweepResult out;
     out.points.reserve(req.ps.size());
-    for (double p : req.ps) {
-        out.points.push_back(sweepPoint(req, p));
-        out.telemetry += out.points.back().telemetry;
+    bool interrupted = false;
+    for (std::size_t pi = 0; pi < req.ps.size(); ++pi) {
+        if (req.cancel != nullptr && req.cancel->load()) {
+            interrupted = true;
+        }
+        if (interrupted) {
+            break;
+        }
+        Telemetry new_work;
+        decoder::PackedDecodeStats z_packed, x_packed;
+        sweepPointCells(req, grid, pi, cp.points[pi], new_work, z_packed,
+                        x_packed, cell_committed, interrupted);
+        SweepPointResult pt = finalizePoint(cp, pi);
+        // Telemetry reports this run's work (build/decode time, cache
+        // traffic, freshly sampled shots); the memory tallies always
+        // account the full canonical prefix, checkpointed or fresh.
+        pt.telemetry = new_work;
+        pt.memory.z.packed = z_packed;
+        pt.memory.x.packed = x_packed;
+        // A cancelled in-progress point contributes its contiguous
+        // done-chunk prefix; an untouched one is omitted entirely.
+        if (interrupted && pt.memory.z.shots + pt.memory.x.shots == 0) {
+            out.telemetry += new_work;
+            break;
+        }
+        out.points.push_back(pt);
+        out.telemetry += pt.telemetry;
+    }
+    if (persist) {
+        // Always leave a final checkpoint on disk — even a no-progress
+        // shard writes its (empty) slice so the merge step has a
+        // complete set of files to work from.
+        cp.saveAtomic(req.checkpointPath);
     }
     return out;
 }

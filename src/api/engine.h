@@ -25,6 +25,12 @@
  *  - adaptive sweeps: Engine::sweep with SprtOptions::enabled allocates
  *    shots across sweep points with a sequential test (api/sprt.h)
  *    instead of a fixed per-point budget.
+ *  - checkpointable, shardable sweeps: SweepRequest execution walks a
+ *    deterministic (point, chunk) cell grid (api/sweep_checkpoint.h);
+ *    with checkpointPath set the completed cells persist atomically and
+ *    a rerun resumes bit-identically to an uninterrupted run, and with
+ *    shard.count > 1 the process serves only its slice of cells, to be
+ *    merged by mergeSweepCheckpoints + finalizeSweep.
  *
  * Thread safety: all public methods may be called concurrently.
  */
@@ -46,6 +52,7 @@
 
 #include "api/decode_service.h"
 #include "api/requests.h"
+#include "api/sweep_checkpoint.h"
 
 namespace prophunt::api {
 
@@ -154,7 +161,22 @@ class Engine
                          const decoder::DecoderSpec &spec,
                          std::size_t flag_weight, Telemetry &telemetry);
 
-    SweepPointResult sweepPoint(const SweepRequest &req, double p);
+    /**
+     * Compute every owned, still-pending cell of sweep point @p pi in
+     * canonical chunk order, recording completed tallies into
+     * @p pointCp. @p cellCommitted fires after each newly completed
+     * cell (the checkpoint-write hook); @p interrupted is set when
+     * req.cancel stopped the point before its owned cells finished.
+     * Packed-decode stats of the freshly computed cells accumulate into
+     * @p zPacked / @p xPacked.
+     */
+    void sweepPointCells(const SweepRequest &req, const SweepGrid &grid,
+                         std::size_t pi, SweepPointCheckpoint &pointCp,
+                         Telemetry &telemetry,
+                         decoder::PackedDecodeStats &zPacked,
+                         decoder::PackedDecodeStats &xPacked,
+                         const std::function<void()> &cellCommitted,
+                         bool &interrupted);
 
     /** Run one basis measurement through the decode service and fold the
      * outcome's telemetry into @p telemetry. */

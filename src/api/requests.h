@@ -118,12 +118,31 @@ struct LerResult
 };
 
 /**
+ * One process's slice of a sweep's (point, chunk) cell space: shard
+ * index of count serves the cells where the canonical cell index
+ * (point * chunksPerPoint + chunk) is congruent to index mod count.
+ * The default 0/1 serves everything.
+ */
+struct SweepShard
+{
+    std::size_t index = 0;
+    std::size_t count = 1;
+};
+
+/**
  * A physical-error-rate sweep of one schedule.
  *
  * The engine reuses the compiled circuits across all points (the DEM and
  * decoder are per-noise) and, with sprt.enabled, allocates shots
  * adaptively: each point stops as soon as the sequential test decides
  * its LER against sprt.decisionLer.
+ *
+ * Execution decomposes into deterministic (point, chunk) cells (see
+ * api/sweep_checkpoint.h): with checkpointPath set, completed cells
+ * persist atomically every checkpointEveryChunks chunks and a rerun of
+ * the same request resumes bit-identically to an uninterrupted run;
+ * with shard.count > 1 this process computes only its slice of cells
+ * and the per-shard checkpoints merge into the serial result.
  */
 struct SweepRequest
 {
@@ -141,6 +160,25 @@ struct SweepRequest
     SprtOptions sprt;
     /** As LerRequest::flagWeight. */
     std::size_t flagWeight = 0;
+    /** This process's slice of the sweep's cell space. */
+    SweepShard shard;
+    /** Checkpoint/resume file; empty (the default) disables both. A
+     * mismatched existing checkpoint (different request fingerprint or
+     * shard slice) is an error, never silently overwritten. */
+    std::string checkpointPath;
+    /** Checkpoint write frequency, in completed chunks (clamped >= 1).
+     * A final write always happens, even on cancellation. */
+    std::size_t checkpointEveryChunks = 8;
+    /**
+     * Optional cancellation flag (parity with LerRequest::cancel).
+     * Honored between points and between SPRT chunks, and passed into
+     * the decode service so an in-flight measurement truncates to a
+     * valid contiguous shard prefix. The result holds every completed
+     * point plus the in-progress point's contiguous chunk prefix (a
+     * mid-chunk truncation is discarded — only canonical full-chunk
+     * tallies enter results and checkpoints).
+     */
+    const std::atomic<bool> *cancel = nullptr;
 
     explicit SweepRequest(circuit::SmSchedule s) : schedule(std::move(s)) {}
 };

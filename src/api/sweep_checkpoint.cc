@@ -1,0 +1,916 @@
+#include "api/sweep_checkpoint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "api/engine.h"
+#include "api/sprt.h"
+#include "sim/parallel_sampler.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace prophunt::api {
+
+namespace {
+
+// FNV-1a over 8-byte values / strings, as the engine's cache keys use.
+void
+fnv(uint64_t &h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+}
+
+void
+fnvStr(uint64_t &h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    fnv(h, s.size());
+}
+
+uint64_t
+doubleBits(double d)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    return bits;
+}
+
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    throw std::runtime_error("sweep checkpoint: " + msg);
+}
+
+// --- minimal strict JSON ----------------------------------------------------
+//
+// Exactly the subset the writer emits: objects, arrays, strings (no
+// escapes beyond \" \\ \/ \b \f \n \r \t), numbers, true/false/null.
+// Kept dependency-free on purpose; errors carry the byte offset so a
+// truncated or corrupt checkpoint is diagnosable.
+
+struct JsonValue
+{
+    enum Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+    Kind kind = Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    find(const char *key) const
+    {
+        for (const auto &[k, v] : object) {
+            if (k == key) {
+                return &v;
+            }
+        }
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size()) {
+            error("trailing data after document");
+        }
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    error(const std::string &what) const
+    {
+        fail("parse error at byte " + std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            error("unexpected end of input");
+        }
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c) {
+            error(std::string("expected '") + c + "', got '" +
+                  text_[pos_] + "'");
+        }
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        char c = peek();
+        switch (c) {
+        case '{':
+            return object();
+        case '[':
+            return array();
+        case '"':
+            return string();
+        case 't':
+        case 'f':
+            return boolean();
+        case 'n':
+            literal("null");
+            return JsonValue{};
+        default:
+            return number();
+        }
+    }
+
+    void
+    literal(const char *word)
+    {
+        std::size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) != 0) {
+            error(std::string("expected '") + word + "'");
+        }
+        pos_ += len;
+    }
+
+    JsonValue
+    boolean()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Bool;
+        if (text_[pos_] == 't') {
+            literal("true");
+            v.boolean = true;
+        } else {
+            literal("false");
+            v.boolean = false;
+        }
+        return v;
+    }
+
+    JsonValue
+    string()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::String;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                error("unterminated string");
+            }
+            char c = text_[pos_++];
+            if (c == '"') {
+                return v;
+            }
+            if (c == '\\') {
+                if (pos_ >= text_.size()) {
+                    error("unterminated escape");
+                }
+                char e = text_[pos_++];
+                switch (e) {
+                case '"':
+                case '\\':
+                case '/':
+                    v.string.push_back(e);
+                    break;
+                case 'b':
+                    v.string.push_back('\b');
+                    break;
+                case 'f':
+                    v.string.push_back('\f');
+                    break;
+                case 'n':
+                    v.string.push_back('\n');
+                    break;
+                case 'r':
+                    v.string.push_back('\r');
+                    break;
+                case 't':
+                    v.string.push_back('\t');
+                    break;
+                default:
+                    error("unsupported string escape");
+                }
+            } else {
+                v.string.push_back(c);
+            }
+        }
+    }
+
+    JsonValue
+    number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit((unsigned char)text_[pos_]) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            error("expected a value");
+        }
+        std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        errno = 0;
+        double d = std::strtod(tok.c_str(), &end);
+        if (errno != 0 || end == tok.c_str() || *end != '\0') {
+            pos_ = start;
+            error("malformed number '" + tok + "'");
+        }
+        JsonValue v;
+        v.kind = JsonValue::Number;
+        v.number = d;
+        return v;
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Array;
+        if (consume(']')) {
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            if (consume(']')) {
+                return v;
+            }
+            expect(',');
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Object;
+        if (consume('}')) {
+            return v;
+        }
+        while (true) {
+            JsonValue key = string();
+            expect(':');
+            v.object.emplace_back(std::move(key.string), value());
+            if (consume('}')) {
+                return v;
+            }
+            expect(',');
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+// --- typed field access -----------------------------------------------------
+
+const JsonValue &
+field(const JsonValue &obj, const char *key)
+{
+    if (obj.kind != JsonValue::Object) {
+        fail(std::string("expected an object around '") + key + "'");
+    }
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr) {
+        fail(std::string("missing field '") + key + "'");
+    }
+    return *v;
+}
+
+double
+numField(const JsonValue &obj, const char *key)
+{
+    const JsonValue &v = field(obj, key);
+    if (v.kind != JsonValue::Number) {
+        fail(std::string("field '") + key + "' must be a number");
+    }
+    return v.number;
+}
+
+std::size_t
+sizeField(const JsonValue &obj, const char *key)
+{
+    double d = numField(obj, key);
+    if (d < 0 || d != (double)(uint64_t)d) {
+        fail(std::string("field '") + key +
+             "' must be a non-negative integer");
+    }
+    return (std::size_t)d;
+}
+
+bool
+boolField(const JsonValue &obj, const char *key)
+{
+    const JsonValue &v = field(obj, key);
+    if (v.kind != JsonValue::Bool) {
+        fail(std::string("field '") + key + "' must be a boolean");
+    }
+    return v.boolean;
+}
+
+std::string
+strField(const JsonValue &obj, const char *key)
+{
+    const JsonValue &v = field(obj, key);
+    if (v.kind != JsonValue::String) {
+        fail(std::string("field '") + key + "' must be a string");
+    }
+    return v.string;
+}
+
+/** uint64 fields travel as hex strings: JSON numbers are doubles and
+ * would corrupt seeds/fingerprints above 2^53. */
+uint64_t
+hexField(const JsonValue &obj, const char *key)
+{
+    std::string s = strField(obj, key);
+    char *end = nullptr;
+    errno = 0;
+    uint64_t v = std::strtoull(s.c_str(), &end, 16);
+    if (errno != 0 || end == s.c_str() || *end != '\0') {
+        fail(std::string("field '") + key + "' must be a hex string");
+    }
+    return v;
+}
+
+uint64_t
+tallyElem(const JsonValue &arr, std::size_t i)
+{
+    const JsonValue &v = arr.array[i];
+    if (v.kind != JsonValue::Number || v.number < 0 ||
+        v.number != (double)(uint64_t)v.number) {
+        fail("chunk tally entries must be non-negative integers");
+    }
+    return (uint64_t)v.number;
+}
+
+} // namespace
+
+// --- grid -------------------------------------------------------------------
+
+SweepGrid
+sweepGridFor(const SweepRequest &req)
+{
+    SweepGrid grid;
+    grid.numPoints = req.ps.size();
+    grid.shotsPerPoint = req.shotsPerPoint;
+    grid.sprt = req.sprt.enabled;
+    if (req.shotsPerPoint == 0) {
+        grid.chunkShots = 0;
+    } else if (req.sprt.enabled) {
+        // chunkShots = 0 would never advance the budget; clamp to 1.
+        grid.chunkShots = std::max<std::size_t>(1, req.sprt.chunkShots);
+    } else {
+        grid.chunkShots = req.shotsPerPoint;
+    }
+    return grid;
+}
+
+uint64_t
+sweepChunkSeed(const SweepRequest &req, const SweepGrid &grid,
+               std::size_t chunk)
+{
+    if (!grid.sprt) {
+        return req.seed;
+    }
+    // The serial pre-checkpoint loop drew chunk seeds sequentially from
+    // SplitMix64(seed ^ salt); shardSeed gives O(1) access to the same
+    // stream, so shard workers agree with it without replaying it.
+    return sim::shardSeed(req.seed ^ 0xc4ceb9fe1a85ec53ULL, chunk);
+}
+
+// --- fingerprint / construction ---------------------------------------------
+
+uint64_t
+sweepFingerprint(const SweepRequest &req)
+{
+    SweepGrid grid = sweepGridFor(req);
+    uint64_t h = 0x6a09e667f3bcc908ULL; // Distinct basis from cache keys.
+    fnv(h, hashSchedule(req.schedule));
+    fnv(h, req.rounds);
+    fnv(h, req.ps.size());
+    for (double p : req.ps) {
+        fnv(h, doubleBits(p));
+    }
+    fnv(h, doubleBits(req.pIdle));
+    fnvStr(h, req.decoder.describe());
+    fnv(h, req.shotsPerPoint);
+    fnv(h, req.seed);
+    fnv(h, grid.chunkShots);
+    fnv(h, req.sprt.enabled ? 1 : 0);
+    fnv(h, doubleBits(req.sprt.decisionLer));
+    fnv(h, doubleBits(req.sprt.margin));
+    fnv(h, doubleBits(req.sprt.alpha));
+    fnv(h, doubleBits(req.sprt.beta));
+    fnv(h, req.sprt.minShots);
+    fnv(h, req.flagWeight);
+    fnv(h, req.ler.maxFailures);
+    fnv(h, req.ler.shardShots);
+    return h;
+}
+
+SweepCheckpoint
+makeSweepCheckpoint(const SweepRequest &req)
+{
+    SweepGrid grid = sweepGridFor(req);
+    SweepCheckpoint cp;
+    cp.fingerprint = sweepFingerprint(req);
+    cp.shardIndex = req.shard.index;
+    cp.shardCount = std::max<std::size_t>(1, req.shard.count);
+    cp.shotsPerPoint = grid.shotsPerPoint;
+    cp.chunkShots = grid.chunkShots;
+    cp.seed = req.seed;
+    cp.sprt = req.sprt;
+    cp.sprt.chunkShots = grid.chunkShots; // Persist the clamped value.
+    cp.points.resize(req.ps.size());
+    for (std::size_t i = 0; i < req.ps.size(); ++i) {
+        cp.points[i].p = req.ps[i];
+        cp.points[i].chunks.resize(grid.chunksPerPoint());
+    }
+    return cp;
+}
+
+// --- serialization ----------------------------------------------------------
+
+std::string
+SweepCheckpoint::toJson() const
+{
+    std::string out;
+    out.reserve(256 + points.size() * 64);
+    char buf[384];
+    auto append = [&](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof buf, fmt, args...);
+        out += buf;
+    };
+    out += "{\n";
+    append("  \"format\": \"%s\",\n", kFormat);
+    append("  \"version\": %d,\n", version);
+    append("  \"fingerprint\": \"%016" PRIx64 "\",\n", fingerprint);
+    append("  \"shard_index\": %zu,\n", shardIndex);
+    append("  \"shard_count\": %zu,\n", shardCount);
+    append("  \"seed\": \"%016" PRIx64 "\",\n", seed);
+    append("  \"shots_per_point\": %zu,\n", shotsPerPoint);
+    append("  \"chunk_shots\": %zu,\n", chunkShots);
+    append("  \"sprt\": {\"enabled\": %s, \"decision_ler\": %.17g, "
+           "\"margin\": %.17g, \"alpha\": %.17g, \"beta\": %.17g, "
+           "\"chunk_shots\": %zu, \"min_shots\": %zu},\n",
+           sprt.enabled ? "true" : "false", sprt.decisionLer, sprt.margin,
+           sprt.alpha, sprt.beta, sprt.chunkShots, sprt.minShots);
+    out += "  \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPointCheckpoint &pt = points[i];
+        out += i == 0 ? "\n" : ",\n";
+        append("    {\"p\": %.17g, \"chunks\": [", pt.p);
+        for (std::size_t c = 0; c < pt.chunks.size(); ++c) {
+            const SweepChunkTally &t = pt.chunks[c];
+            if (c != 0) {
+                out += ",";
+            }
+            if (!t.done) {
+                out += "null";
+            } else {
+                append("[%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                       ",%d,%d]",
+                       t.zShots, t.zFailures, t.xShots, t.xFailures,
+                       t.zEarlyStopped ? 1 : 0, t.xEarlyStopped ? 1 : 0);
+            }
+        }
+        out += "]}";
+    }
+    out += points.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+SweepCheckpoint
+SweepCheckpoint::fromJson(const std::string &json)
+{
+    JsonValue root = JsonParser(json).parse();
+    if (root.kind != JsonValue::Object) {
+        fail("document must be an object");
+    }
+    if (strField(root, "format") != kFormat) {
+        fail("not a " + std::string(kFormat) + " file");
+    }
+    SweepCheckpoint cp;
+    cp.version = (int)sizeField(root, "version");
+    if (cp.version != kVersion) {
+        fail("unsupported version " + std::to_string(cp.version) +
+             " (this build reads version " + std::to_string(kVersion) +
+             ")");
+    }
+    cp.fingerprint = hexField(root, "fingerprint");
+    cp.shardIndex = sizeField(root, "shard_index");
+    cp.shardCount = sizeField(root, "shard_count");
+    if (cp.shardCount == 0 || cp.shardIndex >= cp.shardCount) {
+        fail("invalid shard slice " + std::to_string(cp.shardIndex) + "/" +
+             std::to_string(cp.shardCount));
+    }
+    cp.seed = hexField(root, "seed");
+    cp.shotsPerPoint = sizeField(root, "shots_per_point");
+    cp.chunkShots = sizeField(root, "chunk_shots");
+    const JsonValue &sprt = field(root, "sprt");
+    cp.sprt.enabled = boolField(sprt, "enabled");
+    cp.sprt.decisionLer = numField(sprt, "decision_ler");
+    cp.sprt.margin = numField(sprt, "margin");
+    cp.sprt.alpha = numField(sprt, "alpha");
+    cp.sprt.beta = numField(sprt, "beta");
+    cp.sprt.chunkShots = sizeField(sprt, "chunk_shots");
+    cp.sprt.minShots = sizeField(sprt, "min_shots");
+
+    // The grid every point must be laid out on.
+    std::size_t chunks_per_point = 0;
+    if (cp.shotsPerPoint > 0) {
+        if (cp.chunkShots == 0) {
+            fail("chunk_shots must be positive when shots_per_point is");
+        }
+        chunks_per_point =
+            (cp.shotsPerPoint + cp.chunkShots - 1) / cp.chunkShots;
+    }
+
+    const JsonValue &pts = field(root, "points");
+    if (pts.kind != JsonValue::Array) {
+        fail("'points' must be an array");
+    }
+    cp.points.reserve(pts.array.size());
+    for (const JsonValue &pv : pts.array) {
+        SweepPointCheckpoint pt;
+        pt.p = numField(pv, "p");
+        const JsonValue &chunks = field(pv, "chunks");
+        if (chunks.kind != JsonValue::Array) {
+            fail("'chunks' must be an array");
+        }
+        if (chunks.array.size() != chunks_per_point) {
+            fail("point has " + std::to_string(chunks.array.size()) +
+                 " chunks; the grid requires " +
+                 std::to_string(chunks_per_point));
+        }
+        pt.chunks.reserve(chunks.array.size());
+        for (const JsonValue &cv : chunks.array) {
+            SweepChunkTally t;
+            if (cv.kind == JsonValue::Null) {
+                pt.chunks.push_back(t);
+                continue;
+            }
+            if (cv.kind != JsonValue::Array || cv.array.size() != 6) {
+                fail("each chunk must be null or a 6-element array");
+            }
+            t.done = true;
+            t.zShots = tallyElem(cv, 0);
+            t.zFailures = tallyElem(cv, 1);
+            t.xShots = tallyElem(cv, 2);
+            t.xFailures = tallyElem(cv, 3);
+            t.zEarlyStopped = tallyElem(cv, 4) != 0;
+            t.xEarlyStopped = tallyElem(cv, 5) != 0;
+            if (t.zFailures > t.zShots || t.xFailures > t.xShots) {
+                fail("chunk failures exceed its shots");
+            }
+            pt.chunks.push_back(t);
+        }
+        cp.points.push_back(std::move(pt));
+    }
+    return cp;
+}
+
+void
+SweepCheckpoint::saveAtomic(const std::string &path) const
+{
+    std::string tmp = path + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+        fail("cannot open '" + tmp + "' for writing: " +
+             std::strerror(errno));
+    }
+    std::string json = toJson();
+    bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    ok = std::fflush(f) == 0 && ok;
+#ifndef _WIN32
+    // Durability: the rename must not land before the contents do.
+    ok = fsync(fileno(f)) == 0 && ok;
+#endif
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        fail("write to '" + tmp + "' failed: " + std::strerror(errno));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        std::remove(tmp.c_str());
+        fail("rename '" + tmp + "' -> '" + path +
+             "' failed: " + std::strerror(err));
+    }
+}
+
+SweepCheckpoint
+SweepCheckpoint::load(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        fail("cannot open '" + path + "': " + std::strerror(errno));
+    }
+    std::string text;
+    char buf[1 << 14];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        text.append(buf, n);
+    }
+    bool read_err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_err) {
+        fail("read of '" + path + "' failed");
+    }
+    try {
+        return fromJson(text);
+    } catch (const std::runtime_error &e) {
+        fail("'" + path + "' is corrupt or not a checkpoint (" + e.what() +
+             "); delete it to restart from scratch");
+    }
+}
+
+std::optional<SweepCheckpoint>
+SweepCheckpoint::loadIfExists(const std::string &path)
+{
+    if (FILE *f = std::fopen(path.c_str(), "rb")) {
+        std::fclose(f);
+        return load(path);
+    }
+    return std::nullopt;
+}
+
+// --- canonical evaluation ---------------------------------------------------
+
+SweepPrefix
+evalSweepPrefix(const SweepPointCheckpoint &point, const SweepGrid &grid,
+                const SprtOptions &sprt)
+{
+    SweepPrefix pre;
+    const std::size_t n = point.chunks.size();
+    while (pre.chunksDone < n && point.chunks[pre.chunksDone].done) {
+        ++pre.chunksDone;
+    }
+    if (n == 0) {
+        // Zero-shot point: well-formed empty, decision None.
+        pre.complete = true;
+        return pre;
+    }
+
+    if (!grid.sprt) {
+        // Fixed budget: one chunk carrying the whole point.
+        if (pre.chunksDone == 0) {
+            pre.decision = SprtDecision::None;
+            return pre;
+        }
+        const SweepChunkTally &t = point.chunks[0];
+        pre.chunksConsumed = 1;
+        pre.zShots = t.zShots;
+        pre.zFailures = t.zFailures;
+        pre.xShots = t.xShots;
+        pre.xFailures = t.xFailures;
+        pre.zEarlyStopped = t.zEarlyStopped;
+        pre.xEarlyStopped = t.xEarlyStopped;
+        double zl = pre.zShots == 0
+                        ? 0.0
+                        : (double)pre.zFailures / (double)pre.zShots;
+        double xl = pre.xShots == 0
+                        ? 0.0
+                        : (double)pre.xFailures / (double)pre.xShots;
+        double combined = 1.0 - (1.0 - zl) * (1.0 - xl);
+        pre.decision = SprtTest::fixedDecision(combined, sprt);
+        pre.complete = true;
+        return pre;
+    }
+
+    SprtTest test(sprt);
+    pre.decision = SprtDecision::Undecided;
+    for (std::size_t c = 0; c < pre.chunksDone; ++c) {
+        const SweepChunkTally &t = point.chunks[c];
+        pre.zShots += t.zShots;
+        pre.zFailures += t.zFailures;
+        pre.xShots += t.xShots;
+        pre.xFailures += t.xFailures;
+        pre.chunksConsumed = c + 1;
+        std::size_t trials = (std::size_t)((pre.zShots + pre.xShots) / 2);
+        std::size_t failures =
+            (std::size_t)(pre.zFailures + pre.xFailures);
+        SprtDecision dec = test.evaluate(trials, failures);
+        if (dec != SprtDecision::Undecided) {
+            pre.decision = dec;
+            pre.decidedEarly = grid.chunkEnd(c) < grid.shotsPerPoint;
+            pre.zEarlyStopped = pre.xEarlyStopped = pre.decidedEarly;
+            pre.complete = true;
+            return pre;
+        }
+    }
+    if (pre.chunksDone == n) {
+        // Budget exhausted inside the indifference zone: the
+        // fixed-budget fallback rule, exactly as the serial loop.
+        double zl = pre.zShots == 0
+                        ? 0.0
+                        : (double)pre.zFailures / (double)pre.zShots;
+        double xl = pre.xShots == 0
+                        ? 0.0
+                        : (double)pre.xFailures / (double)pre.xShots;
+        double combined = 1.0 - (1.0 - zl) * (1.0 - xl);
+        pre.decision = SprtTest::fixedDecision(combined, sprt);
+        pre.complete = true;
+    }
+    return pre;
+}
+
+namespace {
+
+SweepGrid
+gridOf(const SweepCheckpoint &cp)
+{
+    SweepGrid grid;
+    grid.numPoints = cp.points.size();
+    grid.shotsPerPoint = cp.shotsPerPoint;
+    grid.chunkShots = cp.chunkShots;
+    grid.sprt = cp.sprt.enabled;
+    return grid;
+}
+
+} // namespace
+
+SweepPointResult
+finalizePoint(const SweepCheckpoint &cp, std::size_t point)
+{
+    const SweepPointCheckpoint &pt = cp.points[point];
+    SweepPrefix pre = evalSweepPrefix(pt, gridOf(cp), cp.sprt);
+    SweepPointResult out;
+    out.p = pt.p;
+    out.memory.z.shots = (std::size_t)pre.zShots;
+    out.memory.z.failures = (std::size_t)pre.zFailures;
+    out.memory.z.earlyStopped = pre.zEarlyStopped;
+    out.memory.x.shots = (std::size_t)pre.xShots;
+    out.memory.x.failures = (std::size_t)pre.xFailures;
+    out.memory.x.earlyStopped = pre.xEarlyStopped;
+    out.decision = pre.decision;
+    out.telemetry.shots = (std::size_t)(pre.zShots + pre.xShots);
+    return out;
+}
+
+SweepFinalize
+finalizeSweep(const SweepCheckpoint &cp)
+{
+    SweepFinalize fin;
+    fin.complete = true;
+    fin.result.points.reserve(cp.points.size());
+    SweepGrid grid = gridOf(cp);
+    for (std::size_t i = 0; i < cp.points.size(); ++i) {
+        SweepPrefix pre = evalSweepPrefix(cp.points[i], grid, cp.sprt);
+        fin.complete = fin.complete && pre.complete;
+        fin.pointsComplete += pre.complete ? 1 : 0;
+        fin.result.points.push_back(finalizePoint(cp, i));
+        fin.result.telemetry += fin.result.points.back().telemetry;
+    }
+    return fin;
+}
+
+// --- merge ------------------------------------------------------------------
+
+SweepCheckpoint
+mergeSweepCheckpoints(const std::vector<SweepCheckpoint> &shards)
+{
+    if (shards.empty()) {
+        fail("merge of zero shards");
+    }
+    SweepCheckpoint out = shards.front();
+    out.shardIndex = 0;
+    out.shardCount = 1;
+    for (std::size_t s = 1; s < shards.size(); ++s) {
+        const SweepCheckpoint &sh = shards[s];
+        if (sh.fingerprint != out.fingerprint) {
+            fail("merge: shard " + std::to_string(s) +
+                 " fingerprint mismatch (checkpoints of different "
+                 "requests)");
+        }
+        if (sh.version != out.version ||
+            sh.shotsPerPoint != out.shotsPerPoint ||
+            sh.chunkShots != out.chunkShots || sh.seed != out.seed ||
+            sh.points.size() != out.points.size() ||
+            sh.sprt.enabled != out.sprt.enabled) {
+            fail("merge: shard " + std::to_string(s) +
+                 " grid parameters disagree");
+        }
+        for (std::size_t i = 0; i < out.points.size(); ++i) {
+            SweepPointCheckpoint &dst = out.points[i];
+            const SweepPointCheckpoint &src = sh.points[i];
+            if (src.chunks.size() != dst.chunks.size() ||
+                doubleBits(src.p) != doubleBits(dst.p)) {
+                fail("merge: shard " + std::to_string(s) + " point " +
+                     std::to_string(i) + " does not match the grid");
+            }
+            for (std::size_t c = 0; c < dst.chunks.size(); ++c) {
+                const SweepChunkTally &t = src.chunks[c];
+                if (!t.done) {
+                    continue;
+                }
+                if (!dst.chunks[c].done) {
+                    dst.chunks[c] = t;
+                } else if (!(dst.chunks[c] == t)) {
+                    fail("merge: conflicting tallies for point " +
+                         std::to_string(i) + " chunk " +
+                         std::to_string(c) +
+                         " (shards ran different requests or a "
+                         "checkpoint is corrupt)");
+                }
+            }
+        }
+    }
+    return out;
+}
+
+// --- admission validation ---------------------------------------------------
+
+void
+validateSweepRequest(const SweepRequest &req)
+{
+    if (req.sprt.enabled) {
+        try {
+            SprtOptions effective = req.sprt;
+            effective.chunkShots =
+                std::max<std::size_t>(1, req.sprt.chunkShots);
+            SprtTest probe(effective);
+            (void)probe;
+        } catch (const std::invalid_argument &e) {
+            throw std::invalid_argument(
+                std::string("SweepRequest: sprt.enabled with unusable "
+                            "SPRT options (") +
+                e.what() +
+                "). Set sprt.decisionLer to the LER threshold the sweep "
+                "should decide against (e.g. 0.02) and keep margin > 1, "
+                "alpha/beta in (0, 1).");
+        }
+    }
+    std::size_t count = std::max<std::size_t>(1, req.shard.count);
+    if (req.shard.index >= count) {
+        throw std::invalid_argument(
+            "SweepRequest: shard.index " +
+            std::to_string(req.shard.index) +
+            " out of range for shard.count " + std::to_string(count));
+    }
+}
+
+} // namespace prophunt::api

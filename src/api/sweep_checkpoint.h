@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Checkpointable, shardable sweep execution state.
+ *
+ * A SweepRequest's work decomposes into a deterministic grid of cells:
+ * one cell per (point, chunk), where SPRT-adaptive points split their
+ * shot budget into sprt.chunkShots-sized chunks and fixed-budget points
+ * are a single chunk of shotsPerPoint shots. Each cell's measurement is
+ * independent of every other cell — its sampling seed comes from an
+ * O(1)-random-access SplitMix64 stream position, and the decode service
+ * guarantees the tally is thread-count invariant — so any subset of
+ * cells can be computed by any process in any order and the results are
+ * bit-identical to a serial run.
+ *
+ * SweepCheckpoint persists the grid's completed tallies as versioned
+ * JSON (written atomically: temp file + rename, so a SIGKILL at any
+ * instant leaves either the old or the new checkpoint, never a torn
+ * one). Engine::run(SweepRequest) resumes from it bit-identically, and
+ * K worker processes can each serve the disjoint slice of cells where
+ * cellIndex % K == shardIndex; mergeSweepCheckpoints unions their
+ * checkpoints and finalizeSweep re-evaluates the SPRT in canonical
+ * chunk order — a point's decision consumes the contiguous chunk prefix
+ * up to the first Wald-bound crossing and never reads a later chunk, so
+ * a late-arriving shard can never flip a decision vs. the serial run.
+ */
+#ifndef PROPHUNT_API_SWEEP_CHECKPOINT_H
+#define PROPHUNT_API_SWEEP_CHECKPOINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/requests.h"
+
+namespace prophunt::api {
+
+/**
+ * The deterministic cell grid of one SweepRequest. Pure arithmetic over
+ * the request's budgets — two processes building a grid for the same
+ * request always agree on chunk count, sizes, and seeds.
+ */
+struct SweepGrid
+{
+    std::size_t numPoints = 0;
+    std::size_t shotsPerPoint = 0;
+    /** Effective chunk size: sprt.chunkShots clamped to >= 1 (SPRT), or
+     * shotsPerPoint itself (fixed budget = one chunk per point). */
+    std::size_t chunkShots = 0;
+    bool sprt = false;
+
+    /** Chunks per point (0 when shotsPerPoint == 0). */
+    std::size_t
+    chunksPerPoint() const
+    {
+        if (shotsPerPoint == 0 || chunkShots == 0) {
+            return 0;
+        }
+        return (shotsPerPoint + chunkShots - 1) / chunkShots;
+    }
+
+    /** Requested shots of chunk @p c (the last chunk may be short). */
+    std::size_t
+    chunkSize(std::size_t c) const
+    {
+        std::size_t begin = c * chunkShots;
+        std::size_t size = shotsPerPoint - begin;
+        return size < chunkShots ? size : chunkShots;
+    }
+
+    /** Cumulative requested shots through chunk @p c inclusive. */
+    std::size_t
+    chunkEnd(std::size_t c) const
+    {
+        return c * chunkShots + chunkSize(c);
+    }
+
+    /** Canonical linearization of (point, chunk) — the sharding index. */
+    std::size_t
+    cellIndex(std::size_t point, std::size_t chunk) const
+    {
+        return point * chunksPerPoint() + chunk;
+    }
+
+    std::size_t
+    totalCells() const
+    {
+        return numPoints * chunksPerPoint();
+    }
+
+    /** True iff shard @p index of @p count serves (point, chunk). */
+    bool
+    ownsCell(std::size_t index, std::size_t count, std::size_t point,
+             std::size_t chunk) const
+    {
+        return count <= 1 || cellIndex(point, chunk) % count == index;
+    }
+};
+
+/** The grid a request's execution and checkpoints are laid out on. */
+SweepGrid sweepGridFor(const SweepRequest &req);
+
+/**
+ * Master sampling seed of chunk @p chunk. SPRT chunks draw from the
+ * request's dedicated SplitMix64 chunk stream (identical to the stream
+ * the pre-checkpoint serial loop consumed sequentially); fixed-budget
+ * points sample with the request seed itself, exactly as the equivalent
+ * LerRequest would.
+ */
+uint64_t sweepChunkSeed(const SweepRequest &req, const SweepGrid &grid,
+                        std::size_t chunk);
+
+/** Bit-exact completed tally of one (point, chunk) cell. */
+struct SweepChunkTally
+{
+    bool done = false;
+    /** Accounted shots/failures per basis (shots can undershoot the
+     * requested chunk size when ler.maxFailures stops a chunk early —
+     * that truncation is deterministic and part of the tally). */
+    uint64_t zShots = 0;
+    uint64_t zFailures = 0;
+    uint64_t xShots = 0;
+    uint64_t xFailures = 0;
+    /** Per-basis maxFailures early-stop flags (fixed-budget points
+     * surface them in the result, mirroring LerRequest). */
+    bool zEarlyStopped = false;
+    bool xEarlyStopped = false;
+
+    bool
+    operator==(const SweepChunkTally &o) const
+    {
+        return done == o.done && zShots == o.zShots &&
+               zFailures == o.zFailures && xShots == o.xShots &&
+               xFailures == o.xFailures &&
+               zEarlyStopped == o.zEarlyStopped &&
+               xEarlyStopped == o.xEarlyStopped;
+    }
+};
+
+/** Checkpointed state of one sweep point. */
+struct SweepPointCheckpoint
+{
+    double p = 0.0;
+    std::vector<SweepChunkTally> chunks; ///< Fixed grid size per point.
+};
+
+/**
+ * The serializable sweep execution state: request fingerprint + grid
+ * parameters + every completed cell tally. Version 1.
+ */
+struct SweepCheckpoint
+{
+    static constexpr int kVersion = 1;
+    static constexpr const char *kFormat = "prophunt-sweep-checkpoint";
+
+    int version = kVersion;
+    /** sweepFingerprint(req) of the request this state belongs to. */
+    uint64_t fingerprint = 0;
+    /** The shard slice this file was produced by (0/1 = unsharded). */
+    std::size_t shardIndex = 0;
+    std::size_t shardCount = 1;
+    /** Grid + decision parameters, so finalizeSweep needs no request. */
+    std::size_t shotsPerPoint = 0;
+    std::size_t chunkShots = 0;
+    uint64_t seed = 1;
+    SprtOptions sprt;
+    std::vector<SweepPointCheckpoint> points;
+
+    std::string toJson() const;
+    /** Parse; throws std::runtime_error with offset + cause on corrupt,
+     * truncated, wrong-format, or wrong-version input. */
+    static SweepCheckpoint fromJson(const std::string &json);
+
+    /** Write via temp file + rename (+fsync): readers and crash victims
+     * see either the previous complete file or this one. */
+    void saveAtomic(const std::string &path) const;
+    /** Load @p path; throws std::runtime_error if missing or corrupt. */
+    static SweepCheckpoint load(const std::string &path);
+    /** As load(), but a missing file is nullopt (corrupt still throws:
+     * silently restarting a multi-hour sweep is worse than an error). */
+    static std::optional<SweepCheckpoint> loadIfExists(
+        const std::string &path);
+};
+
+/**
+ * Fingerprint of every request field that affects cell tallies or the
+ * decision rule: schedule hash, rounds, ps, pIdle, decoder spec,
+ * budgets, seeds, SPRT options, flag weight, and the ler fields that
+ * change the sample stream (shardShots) or accounting (maxFailures).
+ * Thread counts, shard slice, cancellation, and checkpoint knobs are
+ * excluded — they never change a tally.
+ */
+uint64_t sweepFingerprint(const SweepRequest &req);
+
+/** A fresh all-cells-pending checkpoint laid out for @p req. */
+SweepCheckpoint makeSweepCheckpoint(const SweepRequest &req);
+
+/**
+ * Canonical-order evaluation of one point's contiguous done prefix —
+ * the single decision procedure shared by serial execution, resume, and
+ * shard merge (which is what makes them bit-identical).
+ */
+struct SweepPrefix
+{
+    /** Length of the contiguous done-chunk prefix. */
+    std::size_t chunksDone = 0;
+    /** Chunks the canonical evaluation consumed (SPRT stops consuming
+     * at the first decision; later chunks are never read). */
+    std::size_t chunksConsumed = 0;
+    /** Accumulated tallies over the consumed chunks. */
+    uint64_t zShots = 0, zFailures = 0;
+    uint64_t xShots = 0, xFailures = 0;
+    bool zEarlyStopped = false, xEarlyStopped = false;
+    SprtDecision decision = SprtDecision::None;
+    /** Decision reached before the full budget (sets earlyStopped). */
+    bool decidedEarly = false;
+    /** Point fully resolved: decided, or every chunk consumed. */
+    bool complete = false;
+};
+
+SweepPrefix evalSweepPrefix(const SweepPointCheckpoint &point,
+                            const SweepGrid &grid, const SprtOptions &sprt);
+
+/** The finalized result of one point (memory tallies + decision;
+ * telemetry.shots = accounted shots, timings zero). */
+SweepPointResult finalizePoint(const SweepCheckpoint &cp, std::size_t point);
+
+/** Finalization of a whole checkpoint. */
+struct SweepFinalize
+{
+    SweepResult result;
+    /** Every point decided or fully sampled. */
+    bool complete = false;
+    std::size_t pointsComplete = 0;
+};
+
+SweepFinalize finalizeSweep(const SweepCheckpoint &cp);
+
+/**
+ * Union shard checkpoints into one (shard 0/1) checkpoint. All inputs
+ * must agree on fingerprint/version/grid/SPRT parameters, and any cell
+ * completed by more than one shard must carry identical tallies;
+ * violations throw std::runtime_error. Order of @p shards is
+ * irrelevant — finalizeSweep of the merge consumes canonical chunk
+ * order, so no arrival order can change a decision.
+ */
+SweepCheckpoint mergeSweepCheckpoints(
+    const std::vector<SweepCheckpoint> &shards);
+
+/**
+ * Request admission checks, run before any artifact is built:
+ *  - sprt.enabled with unusable SPRT options (the default
+ *    decisionLer == 0 in particular) throws std::invalid_argument with
+ *    an actionable message instead of surfacing from deep inside the
+ *    chunk loop; sprt.chunkShots == 0 is legal and clamps to 1.
+ *  - shard.index must lie inside shard.count (count >= 1).
+ */
+void validateSweepRequest(const SweepRequest &req);
+
+} // namespace prophunt::api
+
+#endif // PROPHUNT_API_SWEEP_CHECKPOINT_H

@@ -6,9 +6,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <future>
 #include <memory>
+#include <thread>
 
 #include "api/config.h"
 #include "api/engine.h"
@@ -411,6 +414,125 @@ TEST(Engine, SweepMatchesPointwiseRuns)
         EXPECT_EQ(result.points[i].decision, api::SprtDecision::None);
     }
     EXPECT_EQ(result.totalShots(), 8000u);
+}
+
+TEST(Engine, SweepRejectsSprtWithoutDecisionLer)
+{
+    api::Engine engine;
+    api::SweepRequest sweep(d3Schedule());
+    sweep.rounds = 3;
+    sweep.ps = {1e-3};
+    sweep.decoder = "union_find";
+    sweep.shotsPerPoint = 100;
+    sweep.sprt.enabled = true; // decisionLer left at its 0.0 default
+    try {
+        engine.run(sweep);
+        FAIL() << "expected std::invalid_argument at admission";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("decisionLer"),
+                  std::string::npos)
+            << "error should say which field to set: " << e.what();
+    }
+}
+
+TEST(Engine, SweepRejectsShardIndexOutsideCount)
+{
+    api::Engine engine;
+    api::SweepRequest sweep(d3Schedule());
+    sweep.rounds = 3;
+    sweep.ps = {1e-3};
+    sweep.decoder = "union_find";
+    sweep.shotsPerPoint = 100;
+    sweep.shard.index = 3;
+    sweep.shard.count = 2;
+    EXPECT_THROW(engine.run(sweep), std::invalid_argument);
+}
+
+TEST(Engine, SweepCancelledBeforeStartReturnsEmptyResult)
+{
+    api::Engine engine;
+    api::SweepRequest sweep(d3Schedule());
+    sweep.rounds = 3;
+    sweep.ps = {1e-3, 3e-3};
+    sweep.decoder = "union_find";
+    sweep.shotsPerPoint = 2000;
+    std::atomic<bool> cancel{true};
+    sweep.cancel = &cancel;
+    api::SweepResult result = engine.run(sweep);
+    EXPECT_TRUE(result.points.empty())
+        << "a pre-cancelled sweep does no work";
+    EXPECT_EQ(result.totalShots(), 0u);
+}
+
+TEST(Engine, SweepCancelMidRunReturnsCompletedPrefix)
+{
+    api::Engine engine;
+    api::SweepRequest sweep(d3Schedule());
+    sweep.rounds = 3;
+    sweep.ps = {1e-3, 2e-3, 3e-3, 4e-3};
+    sweep.decoder = "union_find";
+    sweep.shotsPerPoint = 4000;
+    sweep.seed = 5;
+    sweep.ler.threads = 1;
+    api::SweepResult oracle = engine.run(sweep);
+
+    std::atomic<bool> cancel{false};
+    sweep.cancel = &cancel;
+    std::thread flipper([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        cancel.store(true);
+    });
+    api::SweepResult truncated = engine.run(sweep);
+    flipper.join();
+
+    // Whatever prefix completed must match the uninterrupted run point
+    // for point — cancellation truncates, it never perturbs.
+    ASSERT_LE(truncated.points.size(), oracle.points.size());
+    for (std::size_t i = 0; i < truncated.points.size(); ++i) {
+        EXPECT_EQ(truncated.points[i].p, oracle.points[i].p);
+        EXPECT_EQ(truncated.points[i].memory.z.shots,
+                  oracle.points[i].memory.z.shots);
+        EXPECT_EQ(truncated.points[i].memory.z.failures,
+                  oracle.points[i].memory.z.failures);
+        EXPECT_EQ(truncated.points[i].memory.x.shots,
+                  oracle.points[i].memory.x.shots);
+        EXPECT_EQ(truncated.points[i].memory.x.failures,
+                  oracle.points[i].memory.x.failures);
+    }
+}
+
+TEST(Engine, SweepCancelWithSprtKeepsContiguousChunkPrefix)
+{
+    api::Engine engine;
+    api::SweepRequest sweep(d3Schedule());
+    sweep.rounds = 3;
+    sweep.ps = {1.6e-2};
+    sweep.decoder = "union_find";
+    sweep.shotsPerPoint = 8000;
+    sweep.seed = 29;
+    sweep.ler.threads = 1;
+    sweep.sprt.enabled = true;
+    sweep.sprt.decisionLer = 0.02;
+    sweep.sprt.chunkShots = 512;
+    api::SweepResult oracle = engine.run(sweep);
+
+    std::atomic<bool> cancel{false};
+    sweep.cancel = &cancel;
+    std::thread flipper([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        cancel.store(true);
+    });
+    api::SweepResult truncated = engine.run(sweep);
+    flipper.join();
+
+    // An in-progress SPRT point keeps a contiguous chunk prefix: its
+    // accounted shots are a prefix of the oracle's shot count.
+    for (const api::SweepPointResult &pt : truncated.points) {
+        EXPECT_LE(pt.memory.z.shots, oracle.points[0].memory.z.shots);
+        EXPECT_LE(pt.memory.x.shots, oracle.points[0].memory.x.shots);
+        EXPECT_LE(pt.memory.z.failures, oracle.points[0].memory.z.failures);
+        EXPECT_LE(pt.memory.x.failures, oracle.points[0].memory.x.failures);
+    }
 }
 
 TEST(Engine, SubmitReturnsSameResultAsRun)
